@@ -1,0 +1,22 @@
+"""Benchmark regenerating the dataset statistics of Section 7 / footnote 10.
+
+Expected shape: StackOverflow descriptions are longer than DeepRegex ones
+(paper: 26 vs 12 words) and their target regexes are larger (11 vs 5 nodes);
+benchmarks average around 4 positive and 5 negative examples.
+"""
+
+from repro.experiments import dataset_statistics
+from repro.experiments.ablation import statistics_table
+
+
+def _run(scale):
+    stats = dataset_statistics(deepregex_count=scale["deepregex_count"])
+    print()
+    print(statistics_table(stats))
+    return stats
+
+
+def test_dataset_statistics(benchmark, scale):
+    stats = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    assert stats["stackoverflow"].avg_words > stats["deepregex"].avg_words
+    assert stats["stackoverflow"].avg_regex_size > stats["deepregex"].avg_regex_size

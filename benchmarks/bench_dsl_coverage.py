@@ -1,0 +1,21 @@
+"""Benchmark regenerating footnote 9: FlashFill / Fidex DSL coverage.
+
+Expected shape: only a small fraction of the StackOverflow corpus is
+expressible in the FlashFill fragment (paper: 3 of 62) and slightly more in
+the Fidex fragment (paper: 7 of 62).
+"""
+
+from repro.experiments import dsl_coverage
+
+
+def _run():
+    result = dsl_coverage()
+    print()
+    print(result.table())
+    return result
+
+
+def test_dsl_coverage(benchmark):
+    result = benchmark.pedantic(_run, iterations=1, rounds=1)
+    assert result.flashfill < result.total / 4
+    assert result.fidex < result.total / 2

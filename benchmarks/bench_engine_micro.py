@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the PBE engine's components (not a paper figure).
+
+These quantify the cost of the pieces the ablation study reasons about: the
+approximation check, the constraint encoding + solving step, and a full
+sketch completion of the Section 2 motivating example.
+"""
+
+from repro.sketch import parse_sketch
+from repro.synthesis import (
+    Examples,
+    PLeaf,
+    POp,
+    SymInt,
+    SynthesisConfig,
+    Synthesizer,
+    constraint_for_examples,
+    infeasible,
+    infer_constants,
+    initial_partial,
+)
+from repro.dsl import NUM, RepeatRange, literal, Concat, Optional
+
+
+_POSITIVES = ["123456789.123", "123456789123456.12", "12345.1", "123456789123456"]
+_NEGATIVES = ["1234567891234567", "123.1234", "1.12345", ".1234"]
+_EXAMPLES = Examples(_POSITIVES, _NEGATIVES)
+_CONFIG = SynthesisConfig(hole_depth=2, timeout=15.0)
+
+_SYMBOLIC = POp(
+    "Concat",
+    (
+        POp("RepeatRange", (PLeaf(NUM),), (1, SymInt("k1"))),
+        PLeaf(Optional(Concat(literal("."), RepeatRange(NUM, 1, 3)))),
+    ),
+)
+
+
+def test_approximation_check(benchmark):
+    partial = initial_partial(
+        parse_sketch("Concat(Hole(<num>,<,>),Hole(RepeatRange(<num>,1,3),<,>))")
+    )
+    result = benchmark(infeasible, partial, _EXAMPLES, _CONFIG)
+    assert result is False
+
+
+def test_constraint_encoding_and_solving(benchmark):
+    def encode_and_infer():
+        return infer_constants(_SYMBOLIC, _EXAMPLES, _CONFIG)
+
+    candidates = benchmark(encode_and_infer)
+    assert candidates
+
+
+def test_motivating_example_synthesis(benchmark):
+    sketch = parse_sketch(
+        "Concat(Hole(RepeatRange(<num>,1,15)),Hole(Optional(Concat(<.>,RepeatRange(<num>,1,3)))))"
+    )
+
+    def run():
+        return Synthesizer(_CONFIG).synthesize(sketch, _EXAMPLES)
+
+    result = benchmark(run)
+    assert result.solved

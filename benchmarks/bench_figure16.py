@@ -1,0 +1,51 @@
+"""Benchmark regenerating Figure 16 (and the Section 8.1 headline accuracies).
+
+Prints, for each dataset, the number of benchmarks solved by Regel, Regel-PBE
+and DeepRegex at each iteration of the interactive protocol.  Expected shape
+(paper values at full scale): Regel ≫ DeepRegex ≫/≈ Regel-PBE on the DeepRegex
+dataset (151→185 / 134 / ≤66 of 200) and Regel ≫ Regel-PBE > DeepRegex on the
+StackOverflow dataset (44 / 11 / 3 of 62).
+"""
+
+from repro.datasets import generate_deepregex_dataset, stackoverflow_dataset
+from repro.experiments import figure16
+from repro.synthesis import SynthesisConfig
+
+
+def _run_figure16(dataset_name, benchmarks, scale, time_budget):
+    result = figure16(
+        dataset=dataset_name,
+        benchmarks=benchmarks,
+        time_budget=time_budget,
+        max_iterations=scale["iterations"],
+        num_sketches=scale["sketches"],
+        config=SynthesisConfig(timeout=time_budget, hole_depth=2),
+        train_parser=False,
+    )
+    print()
+    print(result.table(max_iterations=scale["iterations"]))
+    return result
+
+
+def test_figure16_deepregex(benchmark, scale):
+    data = generate_deepregex_dataset(count=scale["deepregex_count"])
+    result = benchmark.pedantic(
+        _run_figure16,
+        args=("deepregex", data, scale, scale["time_budget_deepregex"]),
+        iterations=1,
+        rounds=1,
+    )
+    final = {tool: counts[-1] for tool, counts in result.series.items()}
+    assert final["regel"] >= final["regel-pbe"]
+
+
+def test_figure16_stackoverflow(benchmark, scale):
+    data = stackoverflow_dataset()[: scale["stackoverflow_count"]]
+    result = benchmark.pedantic(
+        _run_figure16,
+        args=("stackoverflow", data, scale, scale["time_budget_stackoverflow"]),
+        iterations=1,
+        rounds=1,
+    )
+    final = {tool: counts[-1] for tool, counts in result.series.items()}
+    assert final["regel"] >= final["deepregex"]

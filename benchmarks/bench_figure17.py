@@ -1,0 +1,45 @@
+"""Benchmark regenerating Figure 17: average synthesis time per solved benchmark.
+
+Expected shape: Regel's average time per solved benchmark is lower than
+Regel-PBE's on both datasets (the natural-language hints speed up the search).
+"""
+
+from repro.datasets import generate_deepregex_dataset, stackoverflow_dataset
+from repro.experiments import figure16, figure17
+from repro.experiments.runner import ToolName
+from repro.synthesis import SynthesisConfig
+
+
+def _run(dataset_name, benchmarks, scale, time_budget):
+    fig16 = figure16(
+        dataset=dataset_name,
+        benchmarks=benchmarks,
+        time_budget=time_budget,
+        max_iterations=scale["iterations"],
+        num_sketches=scale["sketches"],
+        config=SynthesisConfig(timeout=time_budget, hole_depth=2),
+        train_parser=False,
+        tools=(ToolName.REGEL, ToolName.REGEL_PBE),
+    )
+    result = figure17(from_figure16=fig16, max_iterations=scale["iterations"])
+    print()
+    print(result.table(max_iterations=scale["iterations"]))
+    return result
+
+
+def test_figure17_deepregex(benchmark, scale):
+    data = generate_deepregex_dataset(count=scale["deepregex_count"])
+    result = benchmark.pedantic(
+        _run, args=("deepregex", data, scale, scale["time_budget_deepregex"]),
+        iterations=1, rounds=1,
+    )
+    assert "regel" in result.series
+
+
+def test_figure17_stackoverflow(benchmark, scale):
+    data = stackoverflow_dataset()[: scale["stackoverflow_count"]]
+    result = benchmark.pedantic(
+        _run, args=("stackoverflow", data, scale, scale["time_budget_stackoverflow"]),
+        iterations=1, rounds=1,
+    )
+    assert "regel-pbe" in result.series

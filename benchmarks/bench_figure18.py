@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 18: the PBE-engine ablation.
+
+For each engine variant (Regel-Enum, Regel-Approx, full Regel) the harness
+completes the semantic parser's top sketches for StackOverflow benchmarks and
+reports solved-sketch counts and cumulative time.  Expected shape: the full
+engine solves at least as many sketches as Regel-Approx, which solves at
+least as many as Regel-Enum, in (much) less cumulative time at paper scale.
+"""
+
+from repro.datasets import stackoverflow_dataset
+from repro.experiments import figure18
+
+
+def _run(scale):
+    result = figure18(
+        benchmarks=stackoverflow_dataset()[: scale["ablation_benchmarks"]],
+        sketches_per_benchmark=scale["sketches"],
+        per_sketch_timeout=scale["ablation_sketch_timeout"],
+    )
+    print()
+    print(result.table())
+    return result
+
+
+def test_figure18_ablation(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    counts = result.solved_counts()
+    assert counts["regel"] >= counts["regel-enum"]
+    assert counts["regel-approx"] >= counts["regel-enum"]

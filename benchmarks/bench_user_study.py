@@ -1,0 +1,27 @@
+"""Benchmark regenerating the Section 8.3 user study (simulated participants).
+
+Expected shape: the with-Regel success rate is well above the without-Regel
+rate (paper: 73.3% vs 28.3%) and the one-tailed paired t-test is significant.
+"""
+
+from repro.datasets import stackoverflow_dataset
+from repro.experiments import user_study
+from repro.synthesis import SynthesisConfig
+
+
+def _run(scale):
+    result = user_study(
+        participants=scale["participants"],
+        tasks_per_participant=6,
+        benchmarks=stackoverflow_dataset()[: scale["stackoverflow_count"]],
+        time_budget=scale["time_budget_stackoverflow"],
+        config=SynthesisConfig(timeout=scale["time_budget_stackoverflow"], hole_depth=2),
+    )
+    print()
+    print(result.table())
+    return result
+
+
+def test_user_study(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    assert result.with_tool_rate >= result.without_tool_rate

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation at a
+reduced scale (few benchmarks, short time budgets) so the whole suite runs in
+minutes.  Set ``REPRO_BENCH_SCALE=full`` to run paper-scale workloads (hours).
+"""
+
+import os
+
+import pytest
+
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Workload sizes used by the benchmark files."""
+    if FULL_SCALE:
+        return {
+            "deepregex_count": 200,
+            "stackoverflow_count": 62,
+            "time_budget_deepregex": 10.0,
+            "time_budget_stackoverflow": 60.0,
+            "iterations": 4,
+            "sketches": 25,
+            "ablation_benchmarks": 62,
+            "ablation_sketch_timeout": 5.0,
+            "participants": 20,
+        }
+    return {
+        "deepregex_count": 10,
+        "stackoverflow_count": 8,
+        "time_budget_deepregex": 2.0,
+        "time_budget_stackoverflow": 3.0,
+        "iterations": 1,
+        "sketches": 8,
+        "ablation_benchmarks": 3,
+        "ablation_sketch_timeout": 0.5,
+        "participants": 8,
+    }

@@ -1,0 +1,39 @@
+"""Generating a DeepRegex-style dataset and running a small engine ablation.
+
+This example shows the two "researcher-facing" workflows:
+
+1. generating benchmarks (regex + stylised English + sampled examples) with
+   the synchronous grammar of Section 7, and
+2. comparing the three PBE-engine variants of Figure 18 on a few benchmarks.
+
+Run with:  python examples/dataset_and_ablation.py
+"""
+
+from repro.datasets import generate_deepregex_dataset, stackoverflow_dataset
+from repro.experiments import figure18
+from repro.experiments.ablation import dataset_statistics, statistics_table
+
+
+def main() -> None:
+    print("A few generated DeepRegex-style benchmarks:\n")
+    for benchmark in generate_deepregex_dataset(count=5, seed=42):
+        print(f"  [{benchmark.benchmark_id}]")
+        print(f"    description: {benchmark.description}")
+        print(f"    regex:       {benchmark.regex_text}")
+        print(f"    positive:    {list(benchmark.positive)}")
+        print(f"    negative:    {list(benchmark.negative)}\n")
+
+    print(statistics_table(dataset_statistics(deepregex_count=30)))
+    print()
+
+    print("Small-scale PBE-engine ablation (Figure 18 shape):")
+    result = figure18(
+        benchmarks=stackoverflow_dataset()[:3],
+        sketches_per_benchmark=6,
+        per_sketch_timeout=0.5,
+    )
+    print(result.table())
+
+
+if __name__ == "__main__":
+    main()

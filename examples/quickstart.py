@@ -1,0 +1,35 @@
+"""Quickstart: synthesize a regex from an English description plus examples.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Regel, SynthesisConfig
+from repro.dsl import matches, to_dsl_string, to_python_regex
+
+
+def main() -> None:
+    # The user describes the task in English *and* gives a few examples.
+    description = "2 capital letters followed by a dash and then 4 digits"
+    positive = ["AB-1234", "XY-0001"]
+    negative = ["AB1234", "A-1234", "ab-1234", "AB-123"]
+
+    tool = Regel(config=SynthesisConfig(timeout=15.0))
+    result = tool.synthesize(description, positive, negative, k=3, time_budget=15.0)
+
+    if not result.solved:
+        print("No regex found within the time budget.")
+        return
+
+    print(f"Tried {result.sketches_tried} sketches in {result.elapsed:.2f}s\n")
+    for rank, regex in enumerate(result.regexes, start=1):
+        print(f"#{rank}: {to_dsl_string(regex)}")
+        print(f"     python regex: {to_python_regex(regex)}")
+
+    best = result.regexes[0]
+    print("\nSanity check against fresh strings:")
+    for text in ["QQ-9999", "QQ-99", "qq-9999"]:
+        print(f"  {text!r:12} -> {'match' if matches(best, text) else 'no match'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of Regel (PLDI 2020).
+
+"Multi-Modal Synthesis of Regular Expressions" (Chen, Wang, Ye, Durrett,
+Dillig): regex synthesis from a combination of natural language and
+positive/negative examples.
+
+Public entry points:
+
+* :class:`repro.multimodal.Regel` — the end-to-end tool,
+* :func:`repro.synthesis.synthesize` — the sketch-guided PBE engine,
+* :class:`repro.nlp.SemanticParser` — English → ranked h-sketches,
+* :mod:`repro.datasets` — the two evaluation corpora,
+* :mod:`repro.experiments` — regeneration of every figure in Section 8.
+"""
+
+__version__ = "1.0.0"
+
+from repro.multimodal.regel import Regel, RegelResult
+from repro.synthesis import SynthesisConfig, EngineVariant, synthesize
+from repro.nlp.sketch_gen import SemanticParser
+
+__all__ = [
+    "Regel",
+    "RegelResult",
+    "SynthesisConfig",
+    "EngineVariant",
+    "synthesize",
+    "SemanticParser",
+    "__version__",
+]

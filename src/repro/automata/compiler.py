@@ -1,0 +1,189 @@
+"""Compilation of DSL regexes into automata.
+
+The compiler performs a Thompson-style construction over a minterm alphabet.
+``Not`` and ``And`` are handled by determinizing the relevant sub-automata and
+applying complement / product, exactly the way the paper uses the Brics
+library ("we use the automata complementation and intersection functionalities
+... in addition to simple membership queries").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.dsl import ast
+from repro.dsl.charclass import chars_of
+from repro.automata.dfa import DFA
+from repro.automata.minterms import Alphabet, alphabet_for
+from repro.automata.nfa import NFA
+
+
+class _Builder:
+    """Accumulates Thompson fragments inside a single NFA."""
+
+    def __init__(self, alphabet: Alphabet):
+        self.alphabet = alphabet
+        self.nfa = NFA(alphabet.num_symbols)
+
+    # Fragments are (entry, exit) state pairs.
+
+    def build(self, regex: ast.Regex) -> Tuple[int, int]:
+        if isinstance(regex, ast.CharClass):
+            return self._char_class(regex)
+        if isinstance(regex, ast.Epsilon):
+            return self._epsilon_fragment()
+        if isinstance(regex, ast.EmptySet):
+            return self.nfa.new_state(), self.nfa.new_state()
+        if isinstance(regex, ast.StartsWith):
+            return self.build(ast.Concat(regex.arg, ast.KleeneStar(ast.ANY)))
+        if isinstance(regex, ast.EndsWith):
+            return self.build(ast.Concat(ast.KleeneStar(ast.ANY), regex.arg))
+        if isinstance(regex, ast.Contains):
+            return self.build(
+                ast.Concat(ast.KleeneStar(ast.ANY), ast.Concat(regex.arg, ast.KleeneStar(ast.ANY)))
+            )
+        if isinstance(regex, ast.Not):
+            return self._embed_dfa(_compile_dfa(regex.arg, self.alphabet).complement())
+        if isinstance(regex, ast.And):
+            left = _compile_dfa(regex.left, self.alphabet)
+            right = _compile_dfa(regex.right, self.alphabet)
+            return self._embed_dfa(left.intersect(right))
+        if isinstance(regex, ast.Optional):
+            entry, exit_ = self.build(regex.arg)
+            self.nfa.add_epsilon(entry, exit_)
+            return entry, exit_
+        if isinstance(regex, ast.KleeneStar):
+            return self._star(regex.arg)
+        if isinstance(regex, ast.Concat):
+            return self._concat(self.build(regex.left), self.build(regex.right))
+        if isinstance(regex, ast.Or):
+            return self._union(self.build(regex.left), self.build(regex.right))
+        if isinstance(regex, ast.Repeat):
+            return self._repeat(regex.arg, regex.count)
+        if isinstance(regex, ast.RepeatAtLeast):
+            fragment = self._repeat(regex.arg, regex.count)
+            star = self._star(regex.arg)
+            return self._concat(fragment, star)
+        if isinstance(regex, ast.RepeatRange):
+            fragment = self._repeat(regex.arg, regex.low)
+            for _ in range(regex.high - regex.low):
+                optional_entry, optional_exit = self.build(regex.arg)
+                self.nfa.add_epsilon(optional_entry, optional_exit)
+                fragment = self._concat(fragment, (optional_entry, optional_exit))
+            return fragment
+        raise TypeError(f"unknown regex node: {regex!r}")
+
+    # -- fragment helpers ---------------------------------------------------
+
+    def _epsilon_fragment(self) -> Tuple[int, int]:
+        entry = self.nfa.new_state()
+        exit_ = self.nfa.new_state()
+        self.nfa.add_epsilon(entry, exit_)
+        return entry, exit_
+
+    def _char_class(self, regex: ast.CharClass) -> Tuple[int, int]:
+        predicate = chars_of(regex.kind)
+        entry = self.nfa.new_state()
+        exit_ = self.nfa.new_state()
+        for symbol, block in enumerate(self.alphabet.blocks):
+            overlap = block & predicate
+            if not overlap:
+                continue
+            if overlap != block:
+                raise ValueError(
+                    "alphabet is not refined enough for this regex; build it with "
+                    "alphabet_for() over every regex involved"
+                )
+            self.nfa.add_transition(entry, symbol, exit_)
+        return entry, exit_
+
+    def _concat(self, left: Tuple[int, int], right: Tuple[int, int]) -> Tuple[int, int]:
+        self.nfa.add_epsilon(left[1], right[0])
+        return left[0], right[1]
+
+    def _union(self, left: Tuple[int, int], right: Tuple[int, int]) -> Tuple[int, int]:
+        entry = self.nfa.new_state()
+        exit_ = self.nfa.new_state()
+        self.nfa.add_epsilon(entry, left[0])
+        self.nfa.add_epsilon(entry, right[0])
+        self.nfa.add_epsilon(left[1], exit_)
+        self.nfa.add_epsilon(right[1], exit_)
+        return entry, exit_
+
+    def _star(self, arg: ast.Regex) -> Tuple[int, int]:
+        inner_entry, inner_exit = self.build(arg)
+        entry = self.nfa.new_state()
+        exit_ = self.nfa.new_state()
+        self.nfa.add_epsilon(entry, exit_)
+        self.nfa.add_epsilon(entry, inner_entry)
+        self.nfa.add_epsilon(inner_exit, inner_entry)
+        self.nfa.add_epsilon(inner_exit, exit_)
+        return entry, exit_
+
+    def _repeat(self, arg: ast.Regex, count: int) -> Tuple[int, int]:
+        fragment = self.build(arg)
+        for _ in range(count - 1):
+            fragment = self._concat(fragment, self.build(arg))
+        return fragment
+
+    def _embed_dfa(self, dfa: DFA) -> Tuple[int, int]:
+        """Copy a DFA into the NFA as a fragment with a single exit state."""
+        state_map = {state: self.nfa.new_state() for state in range(dfa.num_states)}
+        exit_ = self.nfa.new_state()
+        for state in range(dfa.num_states):
+            for symbol in range(dfa.num_symbols):
+                self.nfa.add_transition(state_map[state], symbol, state_map[dfa.transitions[state][symbol]])
+            if state in dfa.accepting:
+                self.nfa.add_epsilon(state_map[state], exit_)
+        return state_map[dfa.start], exit_
+
+
+def _compile_dfa(regex: ast.Regex, alphabet: Alphabet) -> DFA:
+    builder = _Builder(alphabet)
+    entry, exit_ = builder.build(regex)
+    nfa = builder.nfa
+    nfa.start = entry
+    nfa.accepting = {exit_}
+    return nfa.determinize().minimize()
+
+
+class CompiledRegex:
+    """A DSL regex compiled to a minimal DFA over a minterm alphabet."""
+
+    def __init__(self, regex: ast.Regex, alphabet: Alphabet, dfa: DFA):
+        self.regex = regex
+        self.alphabet = alphabet
+        self.dfa = dfa
+
+    def accepts(self, text: str) -> bool:
+        """Membership query for a concrete string."""
+        symbols = self.alphabet.encode(text)
+        if symbols is None:
+            return False
+        return self.dfa.accepts_symbols(symbols)
+
+    def is_empty(self) -> bool:
+        """True iff the regex matches no string over the alphabet."""
+        return self.dfa.is_empty()
+
+    def shortest_example(self) -> Optional[str]:
+        """A shortest accepted string, or None if the language is empty."""
+        symbols = self.dfa.shortest_accepted()
+        if symbols is None:
+            return None
+        return "".join(self.alphabet.representative(symbol) for symbol in symbols)
+
+
+def compile_regex(
+    regex: ast.Regex,
+    alphabet: Optional[Alphabet] = None,
+    extra_chars: str = "",
+) -> CompiledRegex:
+    """Compile a DSL regex to a :class:`CompiledRegex`.
+
+    If no alphabet is supplied, a minterm alphabet refined for ``regex`` (plus
+    ``extra_chars``) is constructed automatically.
+    """
+    if alphabet is None:
+        alphabet = alphabet_for(regex, extra_chars=extra_chars)
+    return CompiledRegex(regex, alphabet, _compile_dfa(regex, alphabet))

@@ -1,0 +1,105 @@
+"""Minterm alphabets: partitioning the concrete alphabet into equivalence classes.
+
+Automata over the full printable-ASCII alphabet would carry ~95 outgoing
+transitions per state.  Since any fixed set of regexes only distinguishes a
+handful of character predicates (the character classes appearing in them), we
+partition the alphabet into *minterms*: maximal sets of characters that every
+predicate treats identically.  Automata then label transitions with minterm
+ids, which keeps determinization and products small — the same trick Brics
+uses with character intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dsl import ast
+from repro.dsl.charclass import PRINTABLE_ALPHABET, chars_of
+
+
+class Alphabet:
+    """A partition of the concrete alphabet into minterm blocks.
+
+    Symbols are integers ``0 .. num_symbols-1``, each denoting one block of
+    concrete characters that are indistinguishable to every predicate the
+    alphabet was built from.
+    """
+
+    def __init__(self, predicates: Sequence[frozenset[str]], concrete: str = PRINTABLE_ALPHABET):
+        signatures: dict[tuple[bool, ...], list[str]] = {}
+        for char in concrete:
+            signature = tuple(char in predicate for predicate in predicates)
+            signatures.setdefault(signature, []).append(char)
+        self.blocks: list[frozenset[str]] = [frozenset(chars) for chars in signatures.values()]
+        self._symbol_of: dict[str, int] = {}
+        for index, block in enumerate(self.blocks):
+            for char in block:
+                self._symbol_of[char] = index
+        # Deterministic, readable representative per block (prefer digits and
+        # letters over punctuation so sampled strings look natural).
+        self._representative: list[str] = [
+            min(block, key=lambda c: (not c.isalnum(), c)) for block in self.blocks
+        ]
+
+    @property
+    def num_symbols(self) -> int:
+        return len(self.blocks)
+
+    def symbols(self) -> range:
+        return range(len(self.blocks))
+
+    def symbol_of(self, char: str) -> int | None:
+        """Minterm id of a concrete character (None if outside the alphabet)."""
+        return self._symbol_of.get(char)
+
+    def encode(self, text: str) -> list[int] | None:
+        """Encode a string as a list of minterm ids (None if any char is unknown)."""
+        out: list[int] = []
+        for char in text:
+            symbol = self._symbol_of.get(char)
+            if symbol is None:
+                return None
+            out.append(symbol)
+        return out
+
+    def representative(self, symbol: int) -> str:
+        """A concrete character belonging to the given minterm block."""
+        return self._representative[symbol]
+
+    def symbols_of_predicate(self, predicate: frozenset[str]) -> set[int]:
+        """All minterm ids whose block is contained in ``predicate``.
+
+        Blocks are built from the predicates, so each block is either fully
+        inside or fully outside any of those predicates.
+        """
+        return {
+            index
+            for index, block in enumerate(self.blocks)
+            if block <= predicate
+        }
+
+
+def predicates_of(regexes: Iterable[ast.Regex]) -> list[frozenset[str]]:
+    """Collect the distinct character predicates used by a set of regexes."""
+    seen: list[frozenset[str]] = []
+    found: set[frozenset[str]] = set()
+    for regex in regexes:
+        for node in regex.walk():
+            if isinstance(node, ast.CharClass):
+                predicate = chars_of(node.kind)
+                if predicate not in found:
+                    found.add(predicate)
+                    seen.append(predicate)
+    return seen
+
+
+def alphabet_for(*regexes: ast.Regex, extra_chars: str = "") -> Alphabet:
+    """Build a minterm alphabet refined enough for all the given regexes.
+
+    ``extra_chars`` adds singleton predicates for characters that must remain
+    distinguishable even if no regex mentions them (e.g. characters appearing
+    in user examples).
+    """
+    predicates = predicates_of(regexes)
+    predicates.extend(frozenset(c) for c in extra_chars if c in PRINTABLE_ALPHABET)
+    return Alphabet(predicates)

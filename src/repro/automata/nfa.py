@@ -1,0 +1,106 @@
+"""Nondeterministic finite automata with epsilon transitions (Thompson style)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+
+class NFA:
+    """An NFA over integer symbols with a single start state.
+
+    States are integers.  Transitions map ``(state, symbol) -> set of states``
+    and ``epsilon[state] -> set of states``.  The class offers the structural
+    combinators needed by the regex compiler (union, concatenation, star,
+    repetition) plus subset construction to a :class:`repro.automata.dfa.DFA`.
+    """
+
+    def __init__(self, num_symbols: int):
+        self.num_symbols = num_symbols
+        self.num_states = 0
+        self.start: int = self.new_state()
+        self.accepting: Set[int] = set()
+        self.transitions: Dict[int, Dict[int, Set[int]]] = {}
+        self.epsilon: Dict[int, Set[int]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def new_state(self) -> int:
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+    def add_transition(self, src: int, symbol: int, dst: int) -> None:
+        self.transitions.setdefault(src, {}).setdefault(symbol, set()).add(dst)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon.setdefault(src, set()).add(dst)
+
+    def add_accepting(self, state: int) -> None:
+        self.accepting.add(state)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def epsilon_closure(self, states: Set[int]) -> FrozenSet[int]:
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilon.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], symbol: int) -> FrozenSet[int]:
+        moved: Set[int] = set()
+        for state in states:
+            moved |= self.transitions.get(state, {}).get(symbol, set())
+        return self.epsilon_closure(moved)
+
+    def accepts_symbols(self, symbols: list[int]) -> bool:
+        current = self.epsilon_closure({self.start})
+        for symbol in symbols:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return any(state in self.accepting for state in current)
+
+    # -- determinization ----------------------------------------------------
+
+    def determinize(self) -> "DFA":
+        """Subset construction producing a complete DFA (with a sink state)."""
+        from repro.automata.dfa import DFA
+
+        start = self.epsilon_closure({self.start})
+        index: Dict[FrozenSet[int], int] = {start: 0}
+        worklist = [start]
+        dfa_transitions: list[list[int]] = []
+        accepting: Set[int] = set()
+        subsets: list[FrozenSet[int]] = [start]
+
+        while worklist:
+            subset = worklist.pop()
+            state_id = index[subset]
+            while len(dfa_transitions) <= state_id:
+                dfa_transitions.append([-1] * self.num_symbols)
+            if any(s in self.accepting for s in subset):
+                accepting.add(state_id)
+            for symbol in range(self.num_symbols):
+                target = self.step(subset, symbol)
+                target_id = index.get(target)
+                if target_id is None:
+                    target_id = len(index)
+                    index[target] = target_id
+                    subsets.append(target)
+                    worklist.append(target)
+                dfa_transitions[state_id][symbol] = target_id
+
+        while len(dfa_transitions) < len(index):
+            dfa_transitions.append([-1] * self.num_symbols)
+
+        return DFA(
+            num_symbols=self.num_symbols,
+            transitions=dfa_transitions,
+            start=0,
+            accepting=accepting,
+        )

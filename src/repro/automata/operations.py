@@ -1,0 +1,57 @@
+"""Language-level operations on DSL regexes (equivalence, inclusion, witnesses).
+
+These are the queries the paper's evaluation relies on: deciding whether a
+synthesized regex is *the intended one* (language equivalence with the ground
+truth) and producing distinguishing strings for the iterative example-feedback
+protocol of Section 8.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsl import ast
+from repro.automata.compiler import CompiledRegex, _compile_dfa
+from repro.automata.minterms import alphabet_for
+
+
+def _joint_compile(left: ast.Regex, right: ast.Regex, extra_chars: str = ""):
+    alphabet = alphabet_for(left, right, extra_chars=extra_chars)
+    return (
+        alphabet,
+        CompiledRegex(left, alphabet, _compile_dfa(left, alphabet)),
+        CompiledRegex(right, alphabet, _compile_dfa(right, alphabet)),
+    )
+
+
+def regex_equivalent(left: ast.Regex, right: ast.Regex) -> bool:
+    """True iff the two regexes denote the same language over the alphabet."""
+    _, compiled_left, compiled_right = _joint_compile(left, right)
+    return compiled_left.dfa.equivalent(compiled_right.dfa)
+
+
+def regex_included(left: ast.Regex, right: ast.Regex) -> bool:
+    """True iff every string matched by ``left`` is matched by ``right``."""
+    _, compiled_left, compiled_right = _joint_compile(left, right)
+    return compiled_left.dfa.difference(compiled_right.dfa).is_empty()
+
+
+def difference_witness(left: ast.Regex, right: ast.Regex) -> Optional[str]:
+    """A shortest string matched by ``left`` but not ``right`` (None if included)."""
+    alphabet, compiled_left, compiled_right = _joint_compile(left, right)
+    difference = compiled_left.dfa.difference(compiled_right.dfa)
+    symbols = difference.shortest_accepted()
+    if symbols is None:
+        return None
+    return "".join(alphabet.representative(symbol) for symbol in symbols)
+
+
+def language_nonempty(regex: ast.Regex) -> bool:
+    """True iff the regex matches at least one string.
+
+    Used to filter degenerate benchmarks out of the generated DeepRegex-style
+    dataset, mirroring the filtering step of Section 7.
+    """
+    from repro.automata.compiler import compile_regex
+
+    return not compile_regex(regex).is_empty()

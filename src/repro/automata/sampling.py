@@ -1,0 +1,203 @@
+"""String sampling from regex languages.
+
+The original datasets were annotated by humans: Mechanical-Turk workers and
+colleagues of the authors wrote positive and negative examples for each
+benchmark.  We replace the human annotators with automaton-based sampling:
+
+* positive examples are random accepting walks of the DFA (biased towards
+  short, natural-looking strings),
+* negative examples are *near misses* — mutations of positive examples that
+  fall outside the language — plus samples of the complement language,
+* :func:`distinguishing_examples` produces the extra examples handed to the
+  tools in later iterations of the Section 8.1 protocol (strings on which the
+  candidate regex and the ground truth disagree).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dsl import ast
+from repro.dsl.semantics import Matcher
+from repro.automata.compiler import CompiledRegex, compile_regex
+from repro.automata.minterms import alphabet_for
+
+
+def enumerate_language(regex: ast.Regex, max_length: int, limit: int = 200) -> List[str]:
+    """Enumerate accepted strings in length-lexicographic order (up to ``limit``)."""
+    compiled = compile_regex(regex)
+    dfa, alphabet = compiled.dfa, compiled.alphabet
+    live = dfa.live_states()
+    results: List[str] = []
+    frontier: List[tuple[int, str]] = [(dfa.start, "")]
+    for length in range(max_length + 1):
+        next_frontier: List[tuple[int, str]] = []
+        for state, text in frontier:
+            if state in dfa.accepting and len(text) == length:
+                results.append(text)
+                if len(results) >= limit:
+                    return results
+            for symbol in range(dfa.num_symbols):
+                target = dfa.transitions[state][symbol]
+                if target in live:
+                    next_frontier.append((target, text + alphabet.representative(symbol)))
+        frontier = next_frontier
+    return results
+
+
+def _random_accepting_walk(
+    compiled: CompiledRegex, rng: random.Random, max_length: int
+) -> Optional[str]:
+    """One random accepted string, steered towards accepting states."""
+    dfa, alphabet = compiled.dfa, compiled.alphabet
+    live = dfa.live_states()
+    if dfa.start not in live:
+        return None
+    state = dfa.start
+    text: List[str] = []
+    for _ in range(max_length):
+        # Stop early (with some probability) once we are in an accepting state
+        # so sampled examples stay short like human-written ones.
+        if state in dfa.accepting and rng.random() < 0.35:
+            return "".join(text)
+        choices = [
+            (symbol, dfa.transitions[state][symbol])
+            for symbol in range(dfa.num_symbols)
+            if dfa.transitions[state][symbol] in live
+        ]
+        if not choices:
+            break
+        symbol, state = rng.choice(choices)
+        block = sorted(alphabet.blocks[symbol])
+        text.append(rng.choice(block))
+    if state in dfa.accepting:
+        return "".join(text)
+    return None
+
+
+def sample_positive(
+    regex: ast.Regex,
+    count: int,
+    rng: Optional[random.Random] = None,
+    max_length: int = 18,
+) -> List[str]:
+    """Sample up to ``count`` distinct strings accepted by the regex."""
+    rng = rng or random.Random(0)
+    compiled = compile_regex(regex)
+    samples: set[str] = set()
+    shortest = compiled.shortest_example()
+    if shortest is not None:
+        samples.add(shortest)
+    attempts = 0
+    while len(samples) < count and attempts < count * 60:
+        attempts += 1
+        sample = _random_accepting_walk(compiled, rng, max_length)
+        if sample is not None:
+            samples.add(sample)
+    return sorted(samples, key=lambda s: (len(s), s))[:count]
+
+
+def _mutate(text: str, rng: random.Random, alphabet_chars: Sequence[str]) -> str:
+    """Apply one random edit (insert / delete / substitute / duplicate)."""
+    operations = ["insert", "substitute", "duplicate"]
+    if text:
+        operations.append("delete")
+    operation = rng.choice(operations)
+    position = rng.randrange(len(text) + 1) if text else 0
+    char = rng.choice(alphabet_chars)
+    if operation == "insert":
+        return text[:position] + char + text[position:]
+    if operation == "delete":
+        position = rng.randrange(len(text))
+        return text[:position] + text[position + 1 :]
+    if operation == "substitute":
+        if not text:
+            return char
+        position = rng.randrange(len(text))
+        return text[:position] + char + text[position + 1 :]
+    # duplicate a chunk (models "too many digits" style negatives)
+    if not text:
+        return char
+    start = rng.randrange(len(text))
+    end = min(len(text), start + rng.randint(1, 4))
+    return text[:start] + text[start:end] * 2 + text[end:]
+
+
+def sample_negative(
+    regex: ast.Regex,
+    count: int,
+    rng: Optional[random.Random] = None,
+    positives: Optional[Iterable[str]] = None,
+    max_length: int = 18,
+) -> List[str]:
+    """Sample up to ``count`` strings rejected by the regex.
+
+    Preference is given to near-miss mutations of positive examples, which is
+    how human annotators typically construct negative examples; if mutations
+    do not produce enough rejected strings, samples of the complement language
+    are added.
+    """
+    rng = rng or random.Random(1)
+    positives = list(positives) if positives is not None else sample_positive(regex, 5, rng)
+    alphabet_chars = sorted(
+        {c for p in positives for c in p} | set("0aA.-_ ")
+    )
+    negatives: set[str] = set()
+    attempts = 0
+    matcher_cache: dict[str, bool] = {}
+
+    def rejected(candidate: str) -> bool:
+        if candidate not in matcher_cache:
+            matcher_cache[candidate] = not Matcher(candidate).matches(regex)
+        return matcher_cache[candidate]
+
+    while len(negatives) < count and attempts < count * 80 and positives:
+        attempts += 1
+        base = rng.choice(positives)
+        candidate = _mutate(base, rng, alphabet_chars)
+        for _ in range(rng.randint(0, 2)):
+            candidate = _mutate(candidate, rng, alphabet_chars)
+        if len(candidate) <= max_length and candidate and rejected(candidate):
+            negatives.add(candidate)
+
+    if len(negatives) < count:
+        complement = compile_regex(ast.Not(regex), extra_chars="".join(alphabet_chars))
+        walks = 0
+        while len(negatives) < count and walks < count * 40:
+            walks += 1
+            sample = _random_accepting_walk(complement, rng, max_length)
+            if sample and rejected(sample):
+                negatives.add(sample)
+    return sorted(negatives, key=lambda s: (len(s), s))[:count]
+
+
+def distinguishing_examples(
+    truth: ast.Regex,
+    candidate: ast.Regex,
+    count: int = 2,
+    rng: Optional[random.Random] = None,
+) -> List[tuple[str, bool]]:
+    """Strings on which ``candidate`` and ``truth`` disagree.
+
+    Returns up to ``count`` pairs ``(string, should_match)`` where
+    ``should_match`` is the ground-truth label.  Used to simulate the user
+    adding two clarifying examples per failed iteration (Section 8.1).
+    """
+    rng = rng or random.Random(2)
+    alphabet = alphabet_for(truth, candidate)
+    from repro.automata.compiler import _compile_dfa
+
+    truth_dfa = _compile_dfa(truth, alphabet)
+    candidate_dfa = _compile_dfa(candidate, alphabet)
+    results: List[tuple[str, bool]] = []
+
+    false_negatives = truth_dfa.difference(candidate_dfa)  # should match but doesn't
+    false_positives = candidate_dfa.difference(truth_dfa)  # shouldn't match but does
+    for dfa, label in ((false_negatives, True), (false_positives, False)):
+        symbols = dfa.shortest_accepted()
+        if symbols is not None:
+            text = "".join(alphabet.representative(symbol) for symbol in symbols)
+            results.append((text, label))
+    rng.shuffle(results)
+    return results[:count]

@@ -1,0 +1,13 @@
+"""Baseline systems compared against Regel in Section 8.1.
+
+* :class:`repro.baselines.deepregex.DeepRegexBaseline` — NL-only translation
+  (a stand-in for the seq2seq DeepRegex system; see DESIGN.md for the
+  substitution rationale),
+* :class:`repro.baselines.pbe_only.RegelPbe` — examples-only synthesis
+  starting from a completely unconstrained sketch.
+"""
+
+from repro.baselines.deepregex import DeepRegexBaseline
+from repro.baselines.pbe_only import RegelPbe
+
+__all__ = ["DeepRegexBaseline", "RegelPbe"]

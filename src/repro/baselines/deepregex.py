@@ -1,0 +1,39 @@
+"""DeepRegex-style baseline: direct NL → regex translation, no examples.
+
+The original DeepRegex [Locascio et al. 2016] is a sequence-to-sequence neural
+model trained on 10,000 (description, regex) pairs.  Training such a model is
+neither possible offline nor necessary for the comparison the paper makes: the
+baseline's defining property is that it commits to a single reading of the
+natural language without consulting examples and without search.  This
+implementation therefore takes the semantic parser's highest-scoring
+derivation and concretises it into one regex — it behaves exactly like an
+NL-only translator: reasonable on stylised DeepRegex-style descriptions,
+brittle on free-form StackOverflow prose.  The substitution is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dsl import ast as rast
+from repro.nlp.sketch_gen import SemanticParser
+
+
+class DeepRegexBaseline:
+    """NL-only regex prediction (top-1, no examples, no search)."""
+
+    def __init__(self, parser: Optional[SemanticParser] = None):
+        self.parser = parser or SemanticParser()
+
+    def predict(self, description: str) -> Optional[rast.Regex]:
+        """The single regex predicted for an English description (or None)."""
+        return self.parser.translate(description)
+
+    def solve(
+        self, description: str, positive: Sequence[str], negative: Sequence[str]
+    ) -> List[rast.Regex]:
+        """Tool-interface wrapper; the examples are deliberately ignored."""
+        del positive, negative  # an NL-only system cannot use them
+        prediction = self.predict(description)
+        return [prediction] if prediction is not None else []

@@ -1,0 +1,37 @@
+"""Regel-PBE baseline: synthesis from examples only (Section 8.1).
+
+Regel-PBE runs the exact same PBE engine as Regel but starts from a completely
+unconstrained sketch (a single hole with no hints), so neither the search
+order nor the deductive pruning benefits from the natural language.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dsl import ast as rast
+from repro.multimodal.regel import Regel, RegelResult, pbe_only_sketches
+from repro.synthesis import SynthesisConfig
+
+
+class RegelPbe:
+    """Examples-only variant of Regel (single unconstrained hole)."""
+
+    def __init__(self, config: Optional[SynthesisConfig] = None):
+        self.regel = Regel(config=config)
+
+    def solve(
+        self,
+        positive: Sequence[str],
+        negative: Sequence[str],
+        k: int = 1,
+        time_budget: Optional[float] = None,
+    ) -> RegelResult:
+        return self.regel.synthesize(
+            description="",
+            positive=positive,
+            negative=negative,
+            k=k,
+            time_budget=time_budget,
+            sketches=pbe_only_sketches(),
+        )

@@ -1,0 +1,49 @@
+"""Command-line interface: ``regel "description" --pos a --pos b --neg c``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.dsl.printer import to_dsl_string, to_python_regex, UnsupportedConstructError
+from repro.multimodal.regel import Regel
+from repro.synthesis import SynthesisConfig
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="regel",
+        description="Synthesize a regex from an English description and string examples.",
+    )
+    parser.add_argument("description", help="natural-language description of the regex")
+    parser.add_argument("--pos", action="append", default=[], help="positive example (repeatable)")
+    parser.add_argument("--neg", action="append", default=[], help="negative example (repeatable)")
+    parser.add_argument("-k", type=int, default=1, help="number of regexes to return")
+    parser.add_argument("-t", "--timeout", type=float, default=20.0, help="time budget in seconds")
+    parser.add_argument("--sketches", type=int, default=25, help="number of sketches to try")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    config = SynthesisConfig(timeout=args.timeout)
+    tool = Regel(config=config, num_sketches=args.sketches)
+    result = tool.synthesize(
+        args.description, args.pos, args.neg, k=args.k, time_budget=args.timeout
+    )
+    if not result.solved:
+        print("no consistent regex found within the time budget", file=sys.stderr)
+        return 1
+    for regex in result.regexes:
+        line = to_dsl_string(regex)
+        try:
+            line += f"    (python: {to_python_regex(regex)})"
+        except UnsupportedConstructError:
+            pass
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Benchmark datasets (Section 7 of the paper).
+
+Two corpora are provided:
+
+* :mod:`repro.datasets.deepregex_gen` — a generator reproducing the
+  methodology behind the DeepRegex corpus: a synchronous context-free grammar
+  emits (regex, stylised English) pairs, paraphrase noise is applied, regexes
+  with empty languages are filtered out, and positive/negative examples are
+  sampled from the regex's automaton (replacing the human annotators).
+* :mod:`repro.datasets.stackoverflow` — a curated corpus of 62 realistic
+  string-matching tasks in the style of the paper's StackOverflow benchmarks,
+  each with a multi-sentence description, a gold regex, a manually written
+  gold sketch, and positive/negative examples.
+"""
+
+from repro.datasets.benchmark import Benchmark
+from repro.datasets.examples_gen import attach_examples
+from repro.datasets.deepregex_gen import generate_deepregex_dataset
+from repro.datasets.stackoverflow import stackoverflow_dataset
+from repro.datasets.splits import cross_validation_folds, train_test_split
+
+__all__ = [
+    "Benchmark",
+    "attach_examples",
+    "generate_deepregex_dataset",
+    "stackoverflow_dataset",
+    "cross_validation_folds",
+    "train_test_split",
+]

@@ -1,0 +1,57 @@
+"""Train/test splitting utilities (Section 7, "Training for each data set").
+
+The paper trains the semantic parser on 6,500 DeepRegex sentences and uses
+5-fold cross-validation on the StackOverflow corpus so it never trains on
+test data.  These helpers reproduce both regimes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.datasets.benchmark import Benchmark
+
+
+def train_test_split(
+    benchmarks: Sequence[Benchmark], train_fraction: float = 0.7, seed: int = 13
+) -> Tuple[List[Benchmark], List[Benchmark]]:
+    """Shuffled train/test split (used for the DeepRegex-style corpus)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be strictly between 0 and 1")
+    items = list(benchmarks)
+    random.Random(seed).shuffle(items)
+    cut = int(len(items) * train_fraction)
+    return items[:cut], items[cut:]
+
+
+def cross_validation_folds(
+    benchmarks: Sequence[Benchmark], folds: int = 5, seed: int = 13
+) -> List[Tuple[List[Benchmark], List[Benchmark]]]:
+    """5-fold cross-validation splits (used for the StackOverflow corpus).
+
+    Returns a list of (train, test) pairs; every benchmark appears in exactly
+    one test fold.
+    """
+    if folds < 2:
+        raise ValueError("need at least 2 folds")
+    items = list(benchmarks)
+    random.Random(seed).shuffle(items)
+    buckets: List[List[Benchmark]] = [[] for _ in range(folds)]
+    for index, benchmark in enumerate(items):
+        buckets[index % folds].append(benchmark)
+    result = []
+    for index in range(folds):
+        test = buckets[index]
+        train = [b for j, bucket in enumerate(buckets) if j != index for b in bucket]
+        result.append((train, test))
+    return result
+
+
+def training_pairs(benchmarks: Sequence[Benchmark]) -> List[Tuple[str, str]]:
+    """(utterance, gold sketch string) pairs for semantic-parser training."""
+    return [
+        (benchmark.description, benchmark.gold_sketch_text)
+        for benchmark in benchmarks
+        if benchmark.gold_sketch_text is not None
+    ]

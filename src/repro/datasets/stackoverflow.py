@@ -1,0 +1,531 @@
+"""Curated StackOverflow-style corpus (Section 7, "StackOverflow data set").
+
+The paper curates 62 benchmarks from regex-related StackOverflow posts that
+contain both an English description and positive/negative examples, filtered
+to exclude visual formatting, descriptions longer than three sentences,
+high-level concepts (months, US phone numbers), and tasks needing lookahead.
+
+We cannot redistribute the original posts, so this module contains 62
+benchmarks written in the same style and with the same difficulty profile:
+multi-sentence descriptions (~26 words on average), larger target regexes
+(~11 AST nodes on average), and a manually written gold sketch per benchmark
+that mimics the structure of the English description (used only for training
+the semantic parser, never at synthesis time).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.datasets.benchmark import Benchmark
+from repro.datasets.examples_gen import attach_examples
+
+
+#: (description, regex, gold sketch, positive examples, negative examples)
+_ENTRIES: list[tuple[str, str, str, tuple[str, ...], tuple[str, ...]]] = [
+    (
+        "I need a regular expression that validates Decimal(18, 3), which means the max "
+        "number of digits before comma is 15 then accept at max 3 numbers after the comma.",
+        "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,1,3))))",
+        "Concat(Hole(<num>,<,>),Hole(RepeatRange(<num>,1,3),<,>))",
+        ("123456789.123", "123456789123456.12", "12345.1", "123456789123456"),
+        ("1234567891234567", "123.1234", "1.12345", ".1234"),
+    ),
+    (
+        "The input box should accept only if either first 2 letters alpha followed by 6 "
+        "numeric or 8 numeric.",
+        "Or(Concat(Repeat(<let>,2),Repeat(<num>,6)),Repeat(<num>,8))",
+        "Or(Hole(Repeat(<let>,2),Repeat(<num>,6)),Hole(Repeat(<num>,8)))",
+        ("ab123456", "12345678", "XY000000"),
+        ("abc12345", "1234567", "ab12345", "123456789"),
+    ),
+    (
+        "I want to validate a password field. The password must be 6 to 12 characters long "
+        "and contain only letters and digits.",
+        "And(RepeatRange(<alphanum>,6,12),Contains(<alphanum>))",
+        "And(Hole(RepeatRange(<alphanum>,6,12)),Hole(<alphanum>))",
+        ("abc123", "password12", "A1B2C3"),
+        ("abc12", "this-is-bad!", "abcdefghijklm"),
+    ),
+    (
+        "Match an amount of money. There should be one or more digits, then optionally a dot "
+        "followed by exactly 2 digits for the cents.",
+        "Concat(RepeatAtLeast(<num>,1),Optional(Concat(<.>,Repeat(<num>,2))))",
+        "Concat(Hole(RepeatAtLeast(<num>,1)),Hole(Optional(Concat(<.>,Repeat(<num>,2)))))",
+        ("12", "12.50", "1999.99"),
+        ("12.5", ".50", "12.505", "a.50"),
+    ),
+    (
+        "I am trying to write a regex for product codes. A valid code starts with 3 capital "
+        "letters followed by a dash and then 4 digits.",
+        "Concat(Repeat(<cap>,3),Concat(<->,Repeat(<num>,4)))",
+        "Concat(Hole(Repeat(<cap>,3)),Hole(<->,Repeat(<num>,4)))",
+        ("ABC-1234", "XYZ-0001"),
+        ("AB-1234", "ABCD-123", "abc-1234", "ABC1234"),
+    ),
+    (
+        "How to check that the string is a valid integer percentage? It should be 1 to 3 "
+        "digits followed by a percent sign.",
+        "Concat(RepeatRange(<num>,1,3),<%>)",
+        "Concat(Hole(RepeatRange(<num>,1,3)),Hole(<%>))",
+        ("5%", "99%", "100%"),
+        ("1000%", "%", "12", "12.5%"),
+    ),
+    (
+        "A username must start with a letter. After that it can contain any number of letters, "
+        "digits or underscores.",
+        "Concat(<let>,KleeneStar(Or(<alphanum>,<_>)))",
+        "Concat(Hole(<let>),Hole(KleeneStar(Or(<alphanum>,<_>))))",
+        ("a", "john_doe99", "Xy_z"),
+        ("1abc", "_abc", "ab cd"),
+    ),
+    (
+        "Validate a time duration given in minutes and seconds like 12:05. There are 1 or 2 "
+        "digits, a colon, then exactly 2 digits.",
+        "Concat(RepeatRange(<num>,1,2),Concat(<:>,Repeat(<num>,2)))",
+        "Concat(Hole(RepeatRange(<num>,1,2)),Hole(<:>,Repeat(<num>,2)))",
+        ("1:05", "12:59"),
+        ("123:00", "12:5", ":05", "12-05"),
+    ),
+    (
+        "I need to match strings that contain at least one digit but do not contain any space.",
+        "And(Contains(<num>),Not(Contains(<space>)))",
+        "And(Hole(Contains(<num>)),Hole(Not(Contains(<space>))))",
+        ("abc1", "1", "x9y"),
+        ("abc", "a 1", " 1", ""),
+    ),
+    (
+        "The voucher code is 4 letters followed by 4 digits, or 8 digits with nothing else.",
+        "Or(Concat(Repeat(<let>,4),Repeat(<num>,4)),Repeat(<num>,8))",
+        "Or(Hole(Repeat(<let>,4),Repeat(<num>,4)),Hole(Repeat(<num>,8)))",
+        (),
+        (),
+    ),
+    (
+        "Accept a version number made of 2 or 3 groups of digits separated by dots, each group "
+        "has 1 to 3 digits.",
+        "Concat(RepeatRange(<num>,1,3),Concat(Concat(<.>,RepeatRange(<num>,1,3)),"
+        "Optional(Concat(<.>,RepeatRange(<num>,1,3)))))",
+        "Concat(Hole(RepeatRange(<num>,1,3)),Hole(Concat(<.>,RepeatRange(<num>,1,3))))",
+        ("1.0", "10.20.3", "192.168.1"),
+        ("1", "1.", "1.2.3.4", "1234.0"),
+    ),
+    (
+        "A line is valid when it starts with a hash sign and then has only letters and spaces "
+        "after it.",
+        "Concat(<#>,RepeatAtLeast(Or(<let>,<space>),1))",
+        "Concat(Hole(<#>),Hole(RepeatAtLeast(Or(<let>,<space>),1)))",
+        (),
+        (),
+    ),
+    (
+        "Need regex for currency where the value is up to 6 digits before the decimal point and "
+        "exactly 2 digits after it. The decimal part is required.",
+        "Concat(RepeatRange(<num>,1,6),Concat(<.>,Repeat(<num>,2)))",
+        "Concat(Hole(RepeatRange(<num>,1,6)),Hole(<.>,Repeat(<num>,2)))",
+        (),
+        (),
+    ),
+    (
+        "Match an identifier that is an underscore or a letter followed by at most 7 "
+        "alphanumeric characters.",
+        "Concat(Or(<_>,<let>),RepeatRange(<alphanum>,1,7))",
+        "Concat(Hole(Or(<_>,<let>)),Hole(RepeatRange(<alphanum>,1,7)))",
+        (),
+        (),
+    ),
+    (
+        "The serial number is 2 capital letters, then 3 digits, then again 2 capital letters.",
+        "Concat(Repeat(<cap>,2),Concat(Repeat(<num>,3),Repeat(<cap>,2)))",
+        "Concat(Hole(Repeat(<cap>,2)),Hole(Repeat(<num>,3),Repeat(<cap>,2)))",
+        (),
+        (),
+    ),
+    (
+        "I want to accept only strings of hexadecimal characters with a length of at least 4.",
+        "RepeatAtLeast(<hex>,4)",
+        "Hole(RepeatAtLeast(<hex>,4))",
+        (),
+        (),
+    ),
+    (
+        "Validate a percentage that may have a decimal part: 1 to 3 digits, optionally a dot and "
+        "1 or 2 more digits, and it must end with a percent sign.",
+        "Concat(RepeatRange(<num>,1,3),Concat(Optional(Concat(<.>,RepeatRange(<num>,1,2))),<%>))",
+        "Concat(Hole(RepeatRange(<num>,1,3)),Hole(Optional(Concat(<.>,RepeatRange(<num>,1,2))),<%>))",
+        (),
+        (),
+    ),
+    (
+        "The field should be a comma separated pair of numbers, each number has 1 to 4 digits.",
+        "Concat(RepeatRange(<num>,1,4),Concat(<,>,RepeatRange(<num>,1,4)))",
+        "Concat(Hole(RepeatRange(<num>,1,4)),Hole(<,>,RepeatRange(<num>,1,4)))",
+        (),
+        (),
+    ),
+    (
+        "Accept an optional minus sign followed by 1 to 10 digits. No other characters allowed.",
+        "Concat(Optional(<->),RepeatRange(<num>,1,10))",
+        "Concat(Hole(Optional(<->)),Hole(RepeatRange(<num>,1,10)))",
+        (),
+        (),
+    ),
+    (
+        "A valid tag is the at sign followed by 2 to 15 lower case letters or digits.",
+        "Concat(<@>,RepeatRange(Or(<low>,<num>),2,15))",
+        "Concat(Hole(<@>),Hole(RepeatRange(Or(<low>,<num>),2,15)))",
+        (),
+        (),
+    ),
+    (
+        "Strings must contain the word dash separated parts: 2 digits, a dash, 2 digits, a dash "
+        "and 4 digits.",
+        "Concat(Repeat(<num>,2),Concat(<->,Concat(Repeat(<num>,2),Concat(<->,Repeat(<num>,4)))))",
+        "Concat(Hole(Repeat(<num>,2)),Hole(<->,Repeat(<num>,2),Repeat(<num>,4)))",
+        (),
+        (),
+    ),
+    (
+        "I need to match file names made of 1 or more letters, then a dot, then an extension of "
+        "exactly 3 lower case letters.",
+        "Concat(RepeatAtLeast(<let>,1),Concat(<.>,Repeat(<low>,3)))",
+        "Concat(Hole(RepeatAtLeast(<let>,1)),Hole(<.>,Repeat(<low>,3)))",
+        (),
+        (),
+    ),
+    (
+        "The answer must be a single capital letter or a single digit, nothing more.",
+        "Or(<cap>,<num>)",
+        "Or(Hole(<cap>),Hole(<num>))",
+        (),
+        (),
+    ),
+    (
+        "Accept lines that start with 3 digits and end with 2 capital letters.",
+        "And(StartsWith(Repeat(<num>,3)),EndsWith(Repeat(<cap>,2)))",
+        "And(Hole(StartsWith(Repeat(<num>,3))),Hole(EndsWith(Repeat(<cap>,2))))",
+        (),
+        (),
+    ),
+    (
+        "A PIN is exactly 4 or exactly 6 digits.",
+        "Or(Repeat(<num>,4),Repeat(<num>,6))",
+        "Or(Hole(Repeat(<num>,4)),Hole(Repeat(<num>,6)))",
+        (),
+        (),
+    ),
+    (
+        "Match a temperature reading: an optional minus, 1 to 3 digits, and optionally a dot "
+        "followed by exactly one digit.",
+        "Concat(Optional(<->),Concat(RepeatRange(<num>,1,3),Optional(Concat(<.>,<num>))))",
+        "Concat(Hole(Optional(<->)),Hole(RepeatRange(<num>,1,3),Optional(Concat(<.>,<num>))))",
+        (),
+        (),
+    ),
+    (
+        "I want strings of lower case letters only, between 3 and 8 characters long.",
+        "RepeatRange(<low>,3,8)",
+        "Hole(RepeatRange(<low>,3,8))",
+        (),
+        (),
+    ),
+    (
+        "A ticket reference starts with the letters then a colon then at least 3 digits.",
+        "Concat(RepeatAtLeast(<let>,1),Concat(<:>,RepeatAtLeast(<num>,3)))",
+        "Concat(Hole(RepeatAtLeast(<let>,1)),Hole(<:>,RepeatAtLeast(<num>,3)))",
+        (),
+        (),
+    ),
+    (
+        "The code field accepts 5 digits optionally followed by a dash and 4 more digits.",
+        "Concat(Repeat(<num>,5),Optional(Concat(<->,Repeat(<num>,4))))",
+        "Concat(Hole(Repeat(<num>,5)),Hole(Optional(Concat(<->,Repeat(<num>,4)))))",
+        (),
+        (),
+    ),
+    (
+        "Match numbers with a thousands separator: 1 to 3 digits then a comma then exactly 3 "
+        "digits.",
+        "Concat(RepeatRange(<num>,1,3),Concat(<,>,Repeat(<num>,3)))",
+        "Concat(Hole(RepeatRange(<num>,1,3)),Hole(<,>,Repeat(<num>,3)))",
+        (),
+        (),
+    ),
+    (
+        "I need to reject any string containing a digit; only letters, spaces and dashes are "
+        "allowed, at least one character.",
+        "And(RepeatAtLeast(Or(<let>,Or(<space>,<->)),1),Not(Contains(<num>)))",
+        "And(Hole(RepeatAtLeast(Or(<let>,<space>),1)),Hole(Not(Contains(<num>))))",
+        (),
+        (),
+    ),
+    (
+        "A label is 1 or more capital letters followed by an optional single digit.",
+        "Concat(RepeatAtLeast(<cap>,1),Optional(<num>))",
+        "Concat(Hole(RepeatAtLeast(<cap>,1)),Hole(Optional(<num>)))",
+        (),
+        (),
+    ),
+    (
+        "Valid input is a slash separated pair: 1 or 2 digits, a slash, then 1 or 2 digits.",
+        "Concat(RepeatRange(<num>,1,2),Concat(</>,RepeatRange(<num>,1,2)))",
+        "Concat(Hole(RepeatRange(<num>,1,2)),Hole(</>,RepeatRange(<num>,1,2)))",
+        (),
+        (),
+    ),
+    (
+        "The string must start with a capital letter and contain at least one digit somewhere.",
+        "And(StartsWith(<cap>),Contains(<num>))",
+        "And(Hole(StartsWith(<cap>)),Hole(Contains(<num>)))",
+        (),
+        (),
+    ),
+    (
+        "Match a coordinate like 12.5,7.25 where each part is 1 to 3 digits, a dot, 1 to 2 "
+        "digits, and the parts are separated by a comma.",
+        "Concat(Concat(RepeatRange(<num>,1,3),Concat(<.>,RepeatRange(<num>,1,2))),"
+        "Concat(<,>,Concat(RepeatRange(<num>,1,3),Concat(<.>,RepeatRange(<num>,1,2)))))",
+        "Concat(Hole(RepeatRange(<num>,1,3),Concat(<.>,RepeatRange(<num>,1,2))),"
+        "Hole(<,>,RepeatRange(<num>,1,3)))",
+        (),
+        (),
+    ),
+    (
+        "Accept strings of 6 to 10 characters that contain no special character at all, only "
+        "letters and digits.",
+        "RepeatRange(<alphanum>,6,10)",
+        "Hole(RepeatRange(<alphanum>,6,10))",
+        (),
+        (),
+    ),
+    (
+        "The quantity is at least 1 digit, and the whole string must not start with a zero.",
+        "And(RepeatAtLeast(<num>,1),Not(StartsWith(<0>)))",
+        "And(Hole(RepeatAtLeast(<num>,1)),Hole(Not(StartsWith(<0>))))",
+        ("5", "10", "907"),
+        ("05", "0", "a1"),
+    ),
+    (
+        "A room code is the letter then a dash then 3 digits, or just 4 digits alone.",
+        "Or(Concat(<let>,Concat(<->,Repeat(<num>,3))),Repeat(<num>,4))",
+        "Or(Hole(<let>,Repeat(<num>,3)),Hole(Repeat(<num>,4)))",
+        (),
+        (),
+    ),
+    (
+        "Valid entries are 2 letters, then 1 to 3 digits, and the entry must end with a single "
+        "lower case letter.",
+        "Concat(Repeat(<let>,2),Concat(RepeatRange(<num>,1,3),<low>))",
+        "Concat(Hole(Repeat(<let>,2)),Hole(RepeatRange(<num>,1,3),<low>))",
+        (),
+        (),
+    ),
+    (
+        "Match a simple fraction: one or more digits, a slash, then one or more digits.",
+        "Concat(RepeatAtLeast(<num>,1),Concat(</>,RepeatAtLeast(<num>,1)))",
+        "Concat(Hole(RepeatAtLeast(<num>,1)),Hole(</>,RepeatAtLeast(<num>,1)))",
+        (),
+        (),
+    ),
+    (
+        "I want to allow an optional plus sign, then 7 to 12 digits, and no other symbols.",
+        "Concat(Optional(<+>),RepeatRange(<num>,7,12))",
+        "Concat(Hole(Optional(<+>)),Hole(RepeatRange(<num>,7,12)))",
+        (),
+        (),
+    ),
+    (
+        "The invoice number is the hash sign, 2 capital letters, and then exactly 6 digits.",
+        "Concat(<#>,Concat(Repeat(<cap>,2),Repeat(<num>,6)))",
+        "Concat(Hole(<#>),Hole(Repeat(<cap>,2),Repeat(<num>,6)))",
+        (),
+        (),
+    ),
+    (
+        "Accept a list of 2 or 3 words made of lower case letters separated by single spaces.",
+        "Concat(RepeatAtLeast(<low>,1),Concat(Concat(<space>,RepeatAtLeast(<low>,1)),"
+        "Optional(Concat(<space>,RepeatAtLeast(<low>,1)))))",
+        "Concat(Hole(RepeatAtLeast(<low>,1)),Hole(<space>,RepeatAtLeast(<low>,1)))",
+        (),
+        (),
+    ),
+    (
+        "A hex color value is the hash sign followed by exactly 6 hexadecimal characters.",
+        "Concat(<#>,Repeat(<hex>,6))",
+        "Concat(Hole(<#>),Hole(Repeat(<hex>,6)))",
+        (),
+        (),
+    ),
+    (
+        "Match measurements of 1 to 4 digits followed by the two lower case letters cm.",
+        "Concat(RepeatRange(<num>,1,4),Concat(<c>,<m>))",
+        "Concat(Hole(RepeatRange(<num>,1,4)),Hole(<c>,<m>))",
+        (),
+        (),
+    ),
+    (
+        "The string must be only digits and must contain at least 2 and at most 5 of them.",
+        "RepeatRange(<num>,2,5)",
+        "Hole(RepeatRange(<num>,2,5))",
+        (),
+        (),
+    ),
+    (
+        "Need to validate a range input such as 10-99: exactly 2 digits, a dash, exactly 2 "
+        "digits.",
+        "Concat(Repeat(<num>,2),Concat(<->,Repeat(<num>,2)))",
+        "Concat(Hole(Repeat(<num>,2)),Hole(<->,Repeat(<num>,2)))",
+        (),
+        (),
+    ),
+    (
+        "An initial is one capital letter followed by a period.",
+        "Concat(<cap>,<.>)",
+        "Concat(Hole(<cap>),Hole(<.>))",
+        (),
+        (),
+    ),
+    (
+        "Match strings that end with a semicolon and contain only letters and semicolons.",
+        "And(EndsWith(<;>),RepeatAtLeast(Or(<let>,<;>),1))",
+        "And(Hole(EndsWith(<;>)),Hole(RepeatAtLeast(Or(<let>,<;>),1)))",
+        (),
+        (),
+    ),
+    (
+        "A license key is 4 groups of 4 alphanumeric characters separated by dashes.",
+        "Concat(Repeat(<alphanum>,4),Concat(<->,Concat(Repeat(<alphanum>,4),Concat(<->,"
+        "Concat(Repeat(<alphanum>,4),Concat(<->,Repeat(<alphanum>,4)))))))",
+        "Concat(Hole(Repeat(<alphanum>,4)),Hole(<->,Repeat(<alphanum>,4)))",
+        (),
+        (),
+    ),
+    (
+        "Accept an optional leading plus or minus sign followed by at least one digit and at "
+        "most 6 digits.",
+        "Concat(Optional(Or(<+>,<->)),RepeatRange(<num>,1,6))",
+        "Concat(Hole(Optional(Or(<+>,<->))),Hole(RepeatRange(<num>,1,6)))",
+        (),
+        (),
+    ),
+    (
+        "I need a pattern for a short slug: lower case letters and dashes only, starting with a "
+        "letter, at least 3 characters in total.",
+        "Concat(<low>,RepeatAtLeast(Or(<low>,<->),2))",
+        "Concat(Hole(<low>),Hole(RepeatAtLeast(Or(<low>,<->),2)))",
+        (),
+        (),
+    ),
+    (
+        "Validate an answer sheet line: 1 to 2 digits, a period, a space, then a single capital "
+        "letter.",
+        "Concat(RepeatRange(<num>,1,2),Concat(<.>,Concat(<space>,<cap>)))",
+        "Concat(Hole(RepeatRange(<num>,1,2)),Hole(<.>,<space>,<cap>))",
+        (),
+        (),
+    ),
+    (
+        "The barcode must be exactly 13 digits, or exactly 8 digits for the short form.",
+        "Or(Repeat(<num>,13),Repeat(<num>,8))",
+        "Or(Hole(Repeat(<num>,13)),Hole(Repeat(<num>,8)))",
+        (),
+        (),
+    ),
+    (
+        "Match a chess square: one lower case letter followed by one digit.",
+        "Concat(<low>,<num>)",
+        "Concat(Hole(<low>),Hole(<num>))",
+        (),
+        (),
+    ),
+    (
+        "Accept strings that contain the at sign exactly once: some letters, the at sign, then "
+        "some more letters.",
+        "Concat(RepeatAtLeast(<let>,1),Concat(<@>,RepeatAtLeast(<let>,1)))",
+        "Concat(Hole(RepeatAtLeast(<let>,1)),Hole(<@>,RepeatAtLeast(<let>,1)))",
+        (),
+        (),
+    ),
+    (
+        "The reference must not contain spaces and must end with 3 digits.",
+        "And(Not(Contains(<space>)),EndsWith(Repeat(<num>,3)))",
+        "And(Hole(Not(Contains(<space>))),Hole(EndsWith(Repeat(<num>,3))))",
+        (),
+        (),
+    ),
+    (
+        "A seat assignment is 1 or 2 digits followed by a single capital letter.",
+        "Concat(RepeatRange(<num>,1,2),<cap>)",
+        "Concat(Hole(RepeatRange(<num>,1,2)),Hole(<cap>))",
+        (),
+        (),
+    ),
+    (
+        "Validate input of 3 letters, an underscore, and then 1 to 5 digits.",
+        "Concat(Repeat(<let>,3),Concat(<_>,RepeatRange(<num>,1,5)))",
+        "Concat(Hole(Repeat(<let>,3)),Hole(<_>,RepeatRange(<num>,1,5)))",
+        (),
+        (),
+    ),
+    (
+        "The answer is a single vowel optionally followed by a single digit.",
+        "Concat(<vow>,Optional(<num>))",
+        "Concat(Hole(<vow>),Hole(Optional(<num>)))",
+        (),
+        (),
+    ),
+    (
+        "Match log levels: strings that start with a capital letter and are 4 to 7 letters long "
+        "in total with no digits.",
+        "And(StartsWith(<cap>),RepeatRange(<let>,4,7))",
+        "And(Hole(StartsWith(<cap>)),Hole(RepeatRange(<let>,4,7)))",
+        (),
+        (),
+    ),
+    (
+        "I want to capture a percentage change that starts with a plus or a minus and then has "
+        "1 to 3 digits and then the percent sign.",
+        "Concat(Or(<+>,<->),Concat(RepeatRange(<num>,1,3),<%>))",
+        "Concat(Hole(Or(<+>,<->)),Hole(RepeatRange(<num>,1,3),<%>))",
+        (),
+        (),
+    ),
+]
+
+
+def stackoverflow_dataset(
+    with_examples: bool = True,
+    num_positive: int = 4,
+    num_negative: int = 5,
+    seed: int = 7,
+    limit: Optional[int] = None,
+) -> List[Benchmark]:
+    """Load the curated StackOverflow-style corpus (62 benchmarks)."""
+    rng = random.Random(seed)
+    benchmarks: List[Benchmark] = []
+    entries: Sequence = _ENTRIES if limit is None else _ENTRIES[:limit]
+    for index, (description, regex_text, sketch_text, positive, negative) in enumerate(entries):
+        benchmark = Benchmark(
+            benchmark_id=f"stackoverflow-{index:03d}",
+            description=description,
+            regex_text=regex_text,
+            gold_sketch_text=sketch_text,
+            positive=positive,
+            negative=negative,
+            source="stackoverflow",
+        )
+        if with_examples:
+            benchmark = attach_examples(
+                benchmark,
+                num_positive=max(num_positive, len(positive)),
+                num_negative=max(num_negative, len(negative)),
+                rng=random.Random(rng.randrange(1 << 30)),
+            )
+        benchmarks.append(benchmark)
+    return benchmarks
+
+
+def dataset_size() -> int:
+    """Number of curated benchmarks (the paper's corpus has 62)."""
+    return len(_ENTRIES)

@@ -1,0 +1,100 @@
+"""Regex DSL used by Regel (Figure 5 of the paper).
+
+This package defines the abstract syntax tree of the regex DSL, its exact
+matching semantics (Figure 6), a pretty printer, a parser for the textual
+DSL notation, and structural utilities (size, depth, simplification).
+
+The DSL is equivalent in expressive power to regular languages but exposes
+higher-level operators (``Contains``, ``StartsWith``, ``EndsWith``, ``Not``,
+``And``, the ``Repeat`` family) that map more directly onto natural-language
+descriptions.
+"""
+
+from repro.dsl.charclass import (
+    CharClassKind,
+    ALL_CHAR_CLASSES,
+    PRINTABLE_ALPHABET,
+    chars_of,
+    literal_kind,
+)
+from repro.dsl.ast import (
+    Regex,
+    CharClass,
+    Epsilon,
+    EmptySet,
+    StartsWith,
+    EndsWith,
+    Contains,
+    Not,
+    Optional,
+    KleeneStar,
+    Concat,
+    Or,
+    And,
+    Repeat,
+    RepeatAtLeast,
+    RepeatRange,
+    NUM,
+    LET,
+    CAP,
+    LOW,
+    ANY,
+    ALPHANUM,
+    HEX,
+    VOW,
+    SPEC,
+    literal,
+    concat_all,
+    or_all,
+)
+from repro.dsl.semantics import matches, Matcher
+from repro.dsl.printer import to_dsl_string, to_python_regex, UnsupportedConstructError
+from repro.dsl.parser import parse_regex, RegexParseError
+from repro.dsl.simplify import size, depth, operators_used, simplify
+
+__all__ = [
+    "CharClassKind",
+    "ALL_CHAR_CLASSES",
+    "PRINTABLE_ALPHABET",
+    "chars_of",
+    "literal_kind",
+    "Regex",
+    "CharClass",
+    "Epsilon",
+    "EmptySet",
+    "StartsWith",
+    "EndsWith",
+    "Contains",
+    "Not",
+    "Optional",
+    "KleeneStar",
+    "Concat",
+    "Or",
+    "And",
+    "Repeat",
+    "RepeatAtLeast",
+    "RepeatRange",
+    "NUM",
+    "LET",
+    "CAP",
+    "LOW",
+    "ANY",
+    "ALPHANUM",
+    "HEX",
+    "VOW",
+    "SPEC",
+    "literal",
+    "concat_all",
+    "or_all",
+    "matches",
+    "Matcher",
+    "to_dsl_string",
+    "to_python_regex",
+    "UnsupportedConstructError",
+    "parse_regex",
+    "RegexParseError",
+    "size",
+    "depth",
+    "operators_used",
+    "simplify",
+]

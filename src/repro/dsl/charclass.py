@@ -1,0 +1,90 @@
+"""Character classes of the regex DSL.
+
+The paper's DSL supports predefined character classes (``<num>``, ``<let>``,
+``<cap>``, ``<low>``, ``<any>``, ``<alphanum>``, ``<hex>``, ``<vow>``,
+``<spec>``) as well as single-character literals (``<a>``, ``<,>`` ...).
+
+We work over the printable-ASCII alphabet, which matches the paper's setting
+("common ASCII characters").
+"""
+
+from __future__ import annotations
+
+import string
+from enum import Enum
+from functools import lru_cache
+
+
+#: The concrete alphabet all regexes are interpreted over.  Printable ASCII
+#: minus a handful of characters that never occur in the datasets keeps the
+#: automata small while preserving the semantics the paper relies on.
+PRINTABLE_ALPHABET: str = (
+    string.digits
+    + string.ascii_letters
+    + " .,:;-_/@#%&*+='\"!?()[]<>$^{}|\\~`\t"
+)
+
+
+class CharClassKind(Enum):
+    """Predefined character-class families of the DSL."""
+
+    NUM = "<num>"
+    LET = "<let>"
+    CAP = "<cap>"
+    LOW = "<low>"
+    ANY = "<any>"
+    ALPHANUM = "<alphanum>"
+    HEX = "<hex>"
+    VOW = "<vow>"
+    SPEC = "<spec>"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: All predefined (non-literal) character classes.
+ALL_CHAR_CLASSES = tuple(CharClassKind)
+
+_VOWELS = "aeiouAEIOU"
+_SPECIALS = "".join(
+    c for c in PRINTABLE_ALPHABET if not c.isalnum() and c not in " \t"
+)
+
+_CLASS_CHARS: dict[CharClassKind, frozenset[str]] = {
+    CharClassKind.NUM: frozenset(string.digits),
+    CharClassKind.LET: frozenset(string.ascii_letters),
+    CharClassKind.CAP: frozenset(string.ascii_uppercase),
+    CharClassKind.LOW: frozenset(string.ascii_lowercase),
+    CharClassKind.ANY: frozenset(PRINTABLE_ALPHABET),
+    CharClassKind.ALPHANUM: frozenset(string.digits + string.ascii_letters),
+    CharClassKind.HEX: frozenset(string.hexdigits),
+    CharClassKind.VOW: frozenset(_VOWELS),
+    CharClassKind.SPEC: frozenset(_SPECIALS),
+}
+
+
+@lru_cache(maxsize=None)
+def chars_of(kind: "CharClassKind | str") -> frozenset[str]:
+    """Return the set of concrete characters denoted by a character class.
+
+    ``kind`` is either a :class:`CharClassKind` or a single-character literal.
+    """
+    if isinstance(kind, CharClassKind):
+        return _CLASS_CHARS[kind]
+    if isinstance(kind, str) and len(kind) == 1:
+        return frozenset(kind)
+    raise ValueError(f"not a character class or single-character literal: {kind!r}")
+
+
+def literal_kind(char: str) -> str:
+    """Validate and normalise a literal character class (a single character)."""
+    if not isinstance(char, str) or len(char) != 1:
+        raise ValueError(f"literal character class must be a single character, got {char!r}")
+    return char
+
+
+def class_display(kind: "CharClassKind | str") -> str:
+    """Human-readable ``<...>`` notation for a character class or literal."""
+    if isinstance(kind, CharClassKind):
+        return kind.value
+    return f"<{kind}>"

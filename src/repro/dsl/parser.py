@@ -1,0 +1,157 @@
+"""Parser for the textual DSL notation produced by :func:`repro.dsl.printer.to_dsl_string`.
+
+The grammar is the obvious one:
+
+.. code-block:: text
+
+    regex     := charclass | '<eps>' | '<null>' | op '(' args ')'
+    charclass := '<num>' | '<let>' | ... | '<' single-character '>'
+    args      := regex (',' regex)* (',' integer)*
+
+Datasets and gold sketches store regexes in this notation, so the parser is a
+load-bearing part of the reproduction, not just a convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dsl import ast
+from repro.dsl.charclass import CharClassKind
+
+
+class RegexParseError(ValueError):
+    """Raised when a DSL string cannot be parsed."""
+
+
+_CLASS_BY_NAME = {kind.value: kind for kind in CharClassKind}
+
+#: Named single-character literals that would be awkward to write verbatim.
+_NAMED_LITERALS = {"<space>": " ", "<tab>": "\t", "<comma>": ","}
+
+_OPERATORS: dict[str, Callable[..., ast.Regex]] = {
+    "StartsWith": ast.StartsWith,
+    "EndsWith": ast.EndsWith,
+    "Contains": ast.Contains,
+    "Not": ast.Not,
+    "Optional": ast.Optional,
+    "KleeneStar": ast.KleeneStar,
+    "Star": ast.KleeneStar,
+    "Concat": ast.Concat,
+    "Or": ast.Or,
+    "And": ast.And,
+    "Repeat": ast.Repeat,
+    "RepeatAtLeast": ast.RepeatAtLeast,
+    "RepeatRange": ast.RepeatRange,
+}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> RegexParseError:
+        return RegexParseError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return "" if self.eof() else self.text[self.pos]
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.text[self.pos] in " \n":
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.eof() or self.text[self.pos] != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def parse(self) -> ast.Regex:
+        regex = self.parse_regex()
+        self.skip_ws()
+        if not self.eof():
+            raise self.error("trailing input")
+        return regex
+
+    def parse_regex(self) -> ast.Regex:
+        self.skip_ws()
+        if self.peek() == "<":
+            return self.parse_charclass()
+        name = self.parse_name()
+        if name not in _OPERATORS:
+            raise self.error(f"unknown operator {name!r}")
+        self.expect("(")
+        args: list[ast.Regex] = []
+        ints: list[int] = []
+        while True:
+            self.skip_ws()
+            if self.peek() == ")":
+                break
+            if self.peek().isdigit():
+                ints.append(self.parse_int())
+            else:
+                if ints:
+                    raise self.error("regex argument after integer argument")
+                args.append(self.parse_regex())
+            self.skip_ws()
+            if self.peek() == ",":
+                self.pos += 1
+                continue
+            break
+        self.expect(")")
+        return self.build(name, args, ints)
+
+    def build(self, name: str, args: list[ast.Regex], ints: list[int]) -> ast.Regex:
+        ctor = _OPERATORS[name]
+        try:
+            return ctor(*args, *ints)
+        except (TypeError, ValueError) as exc:
+            raise self.error(f"bad arguments for {name}: {exc}") from exc
+
+    def parse_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while not self.eof() and (self.text[self.pos].isalpha()):
+            self.pos += 1
+        if start == self.pos:
+            raise self.error("expected an operator name")
+        return self.text[start:self.pos]
+
+    def parse_int(self) -> int:
+        start = self.pos
+        while not self.eof() and self.text[self.pos].isdigit():
+            self.pos += 1
+        return int(self.text[start:self.pos])
+
+    def parse_charclass(self) -> ast.Regex:
+        # Find the matching '>'.  Literal '<' and '>' classes are written
+        # '<<>' and '<>>' respectively.
+        start = self.pos
+        end = self.text.find(">", self.pos + 2)
+        if self.text[self.pos : self.pos + 3] in ("<<>", "<>>"):
+            end = self.pos + 2
+        if end == -1:
+            raise self.error("unterminated character class")
+        token = self.text[start : end + 1]
+        self.pos = end + 1
+        if token == "<eps>":
+            return ast.Epsilon()
+        if token == "<null>":
+            return ast.EmptySet()
+        if token in _CLASS_BY_NAME:
+            return ast.CharClass(_CLASS_BY_NAME[token])
+        if token in _NAMED_LITERALS:
+            return ast.CharClass(_NAMED_LITERALS[token])
+        inner = token[1:-1]
+        if len(inner) != 1:
+            raise RegexParseError(f"unknown character class {token!r}")
+        return ast.CharClass(inner)
+
+
+def parse_regex(text: str) -> ast.Regex:
+    """Parse the textual DSL notation into a regex AST."""
+    return _Parser(text).parse()

@@ -1,0 +1,119 @@
+"""Pretty printing of DSL regexes.
+
+Two output formats are supported:
+
+* :func:`to_dsl_string` — the paper's own notation, e.g.
+  ``Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,1,3))))``.
+  This form round-trips through :func:`repro.dsl.parser.parse_regex`.
+* :func:`to_python_regex` — a standard Python ``re`` pattern suitable for
+  ``re.fullmatch``, for the subset of the DSL that maps onto classical regex
+  syntax (``Not`` and ``And`` require automata and raise
+  :class:`UnsupportedConstructError`).
+"""
+
+from __future__ import annotations
+
+import re as _re
+
+from repro.dsl import ast
+from repro.dsl.charclass import CharClassKind
+
+
+class UnsupportedConstructError(Exception):
+    """Raised when a DSL construct has no classical-regex counterpart."""
+
+
+#: Literal characters rendered with a readable name (kept in sync with the parser).
+_NAMED_LITERAL_DISPLAY = {" ": "<space>", "\t": "<tab>"}
+
+
+def to_dsl_string(regex: ast.Regex) -> str:
+    """Render a regex in the paper's DSL notation."""
+    if isinstance(regex, ast.CharClass):
+        if isinstance(regex.kind, str) and regex.kind in _NAMED_LITERAL_DISPLAY:
+            return _NAMED_LITERAL_DISPLAY[regex.kind]
+        return regex.display
+    if isinstance(regex, ast.Epsilon):
+        return "<eps>"
+    if isinstance(regex, ast.EmptySet):
+        return "<null>"
+    if isinstance(regex, ast.StartsWith):
+        return f"StartsWith({to_dsl_string(regex.arg)})"
+    if isinstance(regex, ast.EndsWith):
+        return f"EndsWith({to_dsl_string(regex.arg)})"
+    if isinstance(regex, ast.Contains):
+        return f"Contains({to_dsl_string(regex.arg)})"
+    if isinstance(regex, ast.Not):
+        return f"Not({to_dsl_string(regex.arg)})"
+    if isinstance(regex, ast.Optional):
+        return f"Optional({to_dsl_string(regex.arg)})"
+    if isinstance(regex, ast.KleeneStar):
+        return f"KleeneStar({to_dsl_string(regex.arg)})"
+    if isinstance(regex, ast.Concat):
+        return f"Concat({to_dsl_string(regex.left)},{to_dsl_string(regex.right)})"
+    if isinstance(regex, ast.Or):
+        return f"Or({to_dsl_string(regex.left)},{to_dsl_string(regex.right)})"
+    if isinstance(regex, ast.And):
+        return f"And({to_dsl_string(regex.left)},{to_dsl_string(regex.right)})"
+    if isinstance(regex, ast.Repeat):
+        return f"Repeat({to_dsl_string(regex.arg)},{regex.count})"
+    if isinstance(regex, ast.RepeatAtLeast):
+        return f"RepeatAtLeast({to_dsl_string(regex.arg)},{regex.count})"
+    if isinstance(regex, ast.RepeatRange):
+        return f"RepeatRange({to_dsl_string(regex.arg)},{regex.low},{regex.high})"
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+_CLASS_PATTERNS = {
+    CharClassKind.NUM: "[0-9]",
+    CharClassKind.LET: "[a-zA-Z]",
+    CharClassKind.CAP: "[A-Z]",
+    CharClassKind.LOW: "[a-z]",
+    CharClassKind.ANY: ".",
+    CharClassKind.ALPHANUM: "[0-9a-zA-Z]",
+    CharClassKind.HEX: "[0-9a-fA-F]",
+    CharClassKind.VOW: "[aeiouAEIOU]",
+    CharClassKind.SPEC: r"[^0-9a-zA-Z \t]",
+}
+
+
+def to_python_regex(regex: ast.Regex) -> str:
+    """Translate a DSL regex into a Python ``re`` pattern for ``re.fullmatch``.
+
+    Raises :class:`UnsupportedConstructError` for ``Not`` and ``And``, which
+    have no direct classical-regex counterpart (use :mod:`repro.automata`).
+    """
+    if isinstance(regex, ast.CharClass):
+        if isinstance(regex.kind, CharClassKind):
+            return _CLASS_PATTERNS[regex.kind]
+        return _re.escape(regex.kind)
+    if isinstance(regex, ast.Epsilon):
+        return "(?:)"
+    if isinstance(regex, ast.EmptySet):
+        # A pattern that can never match any string.
+        return "(?!)"
+    if isinstance(regex, ast.StartsWith):
+        return f"(?:{to_python_regex(regex.arg)}).*"
+    if isinstance(regex, ast.EndsWith):
+        return f".*(?:{to_python_regex(regex.arg)})"
+    if isinstance(regex, ast.Contains):
+        return f".*(?:{to_python_regex(regex.arg)}).*"
+    if isinstance(regex, (ast.Not, ast.And)):
+        raise UnsupportedConstructError(
+            f"{type(regex).__name__} cannot be expressed as a classical regex pattern"
+        )
+    if isinstance(regex, ast.Optional):
+        return f"(?:{to_python_regex(regex.arg)})?"
+    if isinstance(regex, ast.KleeneStar):
+        return f"(?:{to_python_regex(regex.arg)})*"
+    if isinstance(regex, ast.Concat):
+        return f"(?:{to_python_regex(regex.left)})(?:{to_python_regex(regex.right)})"
+    if isinstance(regex, ast.Or):
+        return f"(?:{to_python_regex(regex.left)}|{to_python_regex(regex.right)})"
+    if isinstance(regex, ast.Repeat):
+        return f"(?:{to_python_regex(regex.arg)}){{{regex.count}}}"
+    if isinstance(regex, ast.RepeatAtLeast):
+        return f"(?:{to_python_regex(regex.arg)}){{{regex.count},}}"
+    if isinstance(regex, ast.RepeatRange):
+        return f"(?:{to_python_regex(regex.arg)}){{{regex.low},{regex.high}}}"
+    raise TypeError(f"unknown regex node: {regex!r}")

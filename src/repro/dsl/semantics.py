@@ -1,0 +1,143 @@
+"""Exact matching semantics of the regex DSL (Figure 6 of the paper).
+
+The matcher evaluates ``[[r]](s)`` directly on the AST with memoisation over
+``(node, start, end)`` sub-problems.  Because the DSL includes ``Not`` and
+``And``, a direct boolean evaluation is both simpler and faster than going
+through automata for the short example strings used during synthesis; the
+automata-based evaluation in :mod:`repro.automata` is used when language-level
+reasoning (complement, equivalence, sampling) is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dsl import ast
+from repro.dsl.charclass import chars_of
+
+
+class Matcher:
+    """Memoised matcher for one subject string.
+
+    A :class:`Matcher` is specialised to a single string ``s`` and can answer
+    ``[[r]](s[i:j])`` queries for many regexes; the memo table is shared across
+    queries, which is the common access pattern of the PBE engine (many
+    candidate regexes evaluated against the same handful of examples).
+    """
+
+    def __init__(self, subject: str):
+        self.subject = subject
+        self._memo: Dict[Tuple[int, int, int], bool] = {}
+        # Memo keys use id(node); keep every queried regex alive so node ids
+        # are never recycled while their cached entries are still present.
+        self._roots: list[ast.Regex] = []
+
+    def matches(self, regex: ast.Regex) -> bool:
+        """Return True iff ``regex`` matches the whole subject string."""
+        self._roots.append(regex)
+        return self._eval(regex, 0, len(self.subject))
+
+    # -- internal ----------------------------------------------------------
+
+    def _eval(self, regex: ast.Regex, i: int, j: int) -> bool:
+        key = (id(regex), i, j)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        # Seed the memo with False to cut (impossible) cyclic re-entry short;
+        # the DSL has no recursive references so this is purely defensive.
+        self._memo[key] = False
+        result = self._eval_uncached(regex, i, j)
+        self._memo[key] = result
+        return result
+
+    def _eval_uncached(self, regex: ast.Regex, i: int, j: int) -> bool:
+        s = self.subject
+        if isinstance(regex, ast.CharClass):
+            return j - i == 1 and s[i] in chars_of(regex.kind)
+        if isinstance(regex, ast.Epsilon):
+            return i == j
+        if isinstance(regex, ast.EmptySet):
+            return False
+        if isinstance(regex, ast.StartsWith):
+            return any(self._eval(regex.arg, i, k) for k in range(i, j + 1))
+        if isinstance(regex, ast.EndsWith):
+            return any(self._eval(regex.arg, k, j) for k in range(i, j + 1))
+        if isinstance(regex, ast.Contains):
+            return any(
+                self._eval(regex.arg, a, b)
+                for a in range(i, j + 1)
+                for b in range(a, j + 1)
+            )
+        if isinstance(regex, ast.Not):
+            return not self._eval(regex.arg, i, j)
+        if isinstance(regex, ast.Optional):
+            return i == j or self._eval(regex.arg, i, j)
+        if isinstance(regex, ast.KleeneStar):
+            return self._eval_star(regex, regex.arg, i, j)
+        if isinstance(regex, ast.Concat):
+            return any(
+                self._eval(regex.left, i, k) and self._eval(regex.right, k, j)
+                for k in range(i, j + 1)
+            )
+        if isinstance(regex, ast.Or):
+            return self._eval(regex.left, i, j) or self._eval(regex.right, i, j)
+        if isinstance(regex, ast.And):
+            return self._eval(regex.left, i, j) and self._eval(regex.right, i, j)
+        if isinstance(regex, ast.Repeat):
+            return self._eval_repeat(regex.arg, regex.count, i, j)
+        if isinstance(regex, ast.RepeatAtLeast):
+            # RepeatAtLeast(r, k) == Concat(Repeat(r, k), KleeneStar(r))
+            return any(
+                self._eval_repeat(regex.arg, regex.count, i, k)
+                and self._eval_star(regex, regex.arg, k, j)
+                for k in range(i, j + 1)
+            )
+        if isinstance(regex, ast.RepeatRange):
+            return any(
+                self._eval_repeat(regex.arg, k, i, j)
+                for k in range(regex.low, regex.high + 1)
+            )
+        raise TypeError(f"unknown regex node: {regex!r}")
+
+    def _eval_star(self, star_key: ast.Regex, arg: ast.Regex, i: int, j: int) -> bool:
+        """Kleene-star evaluation over s[i:j] with non-empty leading pieces."""
+        if i == j:
+            return True
+        key = (id(star_key), i, j, "star")
+        cached = self._memo.get(key)  # type: ignore[arg-type]
+        if cached is not None:
+            return cached
+        self._memo[key] = False  # type: ignore[index]
+        result = any(
+            self._eval(arg, i, k) and self._eval_star(star_key, arg, k, j)
+            for k in range(i + 1, j + 1)
+        )
+        self._memo[key] = result  # type: ignore[index]
+        return result
+
+    def _eval_repeat(self, arg: ast.Regex, count: int, i: int, j: int) -> bool:
+        """Exactly ``count`` consecutive pieces each matching ``arg`` over s[i:j]."""
+        key = (id(arg), i, j, "repeat", count)
+        cached = self._memo.get(key)  # type: ignore[arg-type]
+        if cached is not None:
+            return cached
+        if count == 1:
+            result = self._eval(arg, i, j)
+        else:
+            result = any(
+                self._eval(arg, i, k) and self._eval_repeat(arg, count - 1, k, j)
+                for k in range(i, j + 1)
+            )
+        self._memo[key] = result  # type: ignore[index]
+        return result
+
+
+def matches(regex: ast.Regex, subject: str) -> bool:
+    """Return True iff ``regex`` matches the whole string ``subject``.
+
+    This is the stateless convenience wrapper around :class:`Matcher`; callers
+    that evaluate many regexes against the same string should create a
+    :class:`Matcher` once and reuse it.
+    """
+    return Matcher(subject).matches(regex)

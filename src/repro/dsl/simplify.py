@@ -1,0 +1,143 @@
+"""Structural utilities and light simplification for DSL regexes.
+
+``size``/``depth``/``operators_used`` are used for dataset statistics
+(Section 7 of the paper reports average regex sizes) and for ranking
+synthesized regexes by simplicity.  :func:`simplify` applies a handful of
+semantics-preserving rewrites that remove obviously redundant structure from
+enumerated candidates before they are shown to the user.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast
+
+
+def size(regex: ast.Regex) -> int:
+    """Number of AST nodes in the regex (integer arguments not counted)."""
+    return 1 + sum(size(child) for child in regex.children())
+
+
+def depth(regex: ast.Regex) -> int:
+    """Height of the regex AST (a leaf has depth 1)."""
+    children = regex.children()
+    if not children:
+        return 1
+    return 1 + max(depth(child) for child in children)
+
+
+def operators_used(regex: ast.Regex) -> set[str]:
+    """The set of operator names (non-leaf constructors) used in the regex."""
+    ops: set[str] = set()
+    for node in regex.walk():
+        if node.children():
+            ops.add(type(node).__name__)
+    return ops
+
+
+def char_classes_used(regex: ast.Regex) -> set[ast.CharClass]:
+    """The set of character-class leaves occurring in the regex."""
+    return {node for node in regex.walk() if isinstance(node, ast.CharClass)}
+
+
+def simplify(regex: ast.Regex) -> ast.Regex:
+    """Apply semantics-preserving simplification rewrites bottom-up.
+
+    The rewrites are deliberately conservative: they only remove structure
+    that is redundant for *every* string (e.g. ``Or(r, r) -> r``,
+    ``Optional(Optional(r)) -> Optional(r)``, double negation,
+    ``Repeat(r, 1) -> r``).
+    """
+    rewritten = _rebuild(regex, [simplify(child) for child in regex.children()])
+
+    if isinstance(rewritten, ast.Or) and rewritten.left == rewritten.right:
+        return rewritten.left
+    if isinstance(rewritten, ast.And) and rewritten.left == rewritten.right:
+        return rewritten.left
+    if isinstance(rewritten, ast.Not) and isinstance(rewritten.arg, ast.Not):
+        return rewritten.arg.arg
+    if isinstance(rewritten, ast.Optional) and isinstance(rewritten.arg, ast.Optional):
+        return rewritten.arg
+    if isinstance(rewritten, ast.Optional) and isinstance(rewritten.arg, ast.KleeneStar):
+        return rewritten.arg
+    if isinstance(rewritten, ast.KleeneStar) and isinstance(rewritten.arg, ast.KleeneStar):
+        return rewritten.arg
+    if isinstance(rewritten, ast.KleeneStar) and isinstance(rewritten.arg, ast.Optional):
+        return ast.KleeneStar(rewritten.arg.arg)
+    if isinstance(rewritten, ast.Repeat) and rewritten.count == 1:
+        return rewritten.arg
+    if isinstance(rewritten, ast.RepeatRange) and rewritten.low == rewritten.high:
+        return simplify(ast.Repeat(rewritten.arg, rewritten.low))
+    if isinstance(rewritten, ast.Concat) and isinstance(rewritten.left, ast.Epsilon):
+        return rewritten.right
+    if isinstance(rewritten, ast.Concat) and isinstance(rewritten.right, ast.Epsilon):
+        return rewritten.left
+    if isinstance(rewritten, ast.Or) and isinstance(rewritten.left, ast.EmptySet):
+        return rewritten.right
+    if isinstance(rewritten, ast.Or) and isinstance(rewritten.right, ast.EmptySet):
+        return rewritten.left
+    return rewritten
+
+
+def _rebuild(node: ast.Regex, children: list[ast.Regex]) -> ast.Regex:
+    """Reconstruct ``node`` with new regex children, preserving integer args."""
+    if not children:
+        return node
+    if isinstance(node, (ast.StartsWith, ast.EndsWith, ast.Contains, ast.Not,
+                         ast.Optional, ast.KleeneStar)):
+        return type(node)(children[0])
+    if isinstance(node, (ast.Concat, ast.Or, ast.And)):
+        return type(node)(children[0], children[1])
+    if isinstance(node, ast.Repeat):
+        return ast.Repeat(children[0], node.count)
+    if isinstance(node, ast.RepeatAtLeast):
+        return ast.RepeatAtLeast(children[0], node.count)
+    if isinstance(node, ast.RepeatRange):
+        return ast.RepeatRange(children[0], node.low, node.high)
+    raise TypeError(f"unknown regex node: {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# DSL-coverage analyses (footnote 9 of the paper)
+# ---------------------------------------------------------------------------
+
+def expressible_in_flashfill(regex: ast.Regex) -> bool:
+    """Whether the regex fits the FlashFill token-sequence fragment.
+
+    When mapped onto this DSL, FlashFill patterns have the shape
+    ``Concat(S1, ..., Sn)`` where every ``Si`` is ``RepeatAtLeast(c, 1)`` for
+    a character class ``c`` (Section 9 of the paper).
+    """
+    parts = _flatten_concat(regex)
+    return all(
+        isinstance(part, ast.RepeatAtLeast)
+        and part.count == 1
+        and isinstance(part.arg, ast.CharClass)
+        for part in parts
+    )
+
+
+def expressible_in_fidex(regex: ast.Regex) -> bool:
+    """Whether the regex fits the Fidex DSL fragment.
+
+    Fidex supports concatenations of character-class tokens with bounded or
+    at-least-one repetition and literal characters, but no Kleene star over
+    composite regexes, no ``Not``/``And``, and no nested composition.
+    """
+    parts = _flatten_concat(regex)
+    for part in parts:
+        if isinstance(part, ast.CharClass):
+            continue
+        if isinstance(part, (ast.Repeat, ast.RepeatAtLeast)) and isinstance(
+            part.arg, ast.CharClass
+        ):
+            continue
+        if isinstance(part, ast.RepeatRange) and isinstance(part.arg, ast.CharClass):
+            continue
+        return False
+    return True
+
+
+def _flatten_concat(regex: ast.Regex) -> list[ast.Regex]:
+    if isinstance(regex, ast.Concat):
+        return _flatten_concat(regex.left) + _flatten_concat(regex.right)
+    return [regex]

@@ -1,0 +1,51 @@
+"""Experiment harness reproducing every table and figure of the evaluation.
+
+Each module regenerates one artefact of Section 8 (see DESIGN.md for the
+per-experiment index):
+
+* :mod:`repro.experiments.figure16` — # solved benchmarks vs. iteration,
+* :mod:`repro.experiments.figure17` — average time per solved benchmark,
+* :mod:`repro.experiments.figure18` — PBE-engine ablation over sketches,
+* :mod:`repro.experiments.user_study` — the (simulated) user study + t-test,
+* :mod:`repro.experiments.ablation` — DSL-coverage (footnote 9) and dataset
+  statistics (Section 7).
+
+The full paper-scale runs take hours; every entry point therefore takes a
+``scale`` argument (number of benchmarks, time budgets) so the benchmark
+suite can exercise the complete pipeline quickly while the shapes of the
+results remain interpretable.
+"""
+
+from repro.experiments.runner import (
+    ToolName,
+    BenchmarkRun,
+    evaluate_tool,
+    make_regel_solver,
+    make_pbe_solver,
+    make_deepregex_solver,
+)
+from repro.experiments.metrics import solved_by_iteration, average_time_per_solved
+from repro.experiments.figure16 import figure16
+from repro.experiments.figure17 import figure17
+from repro.experiments.figure18 import figure18
+from repro.experiments.user_study import user_study
+from repro.experiments.ablation import dsl_coverage, dataset_statistics
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ToolName",
+    "BenchmarkRun",
+    "evaluate_tool",
+    "make_regel_solver",
+    "make_pbe_solver",
+    "make_deepregex_solver",
+    "solved_by_iteration",
+    "average_time_per_solved",
+    "figure16",
+    "figure17",
+    "figure18",
+    "user_study",
+    "dsl_coverage",
+    "dataset_statistics",
+    "format_table",
+]

@@ -1,0 +1,92 @@
+"""Structural analyses: DSL coverage (footnote 9) and dataset statistics (Section 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.datasets import generate_deepregex_dataset, stackoverflow_dataset
+from repro.datasets.benchmark import Benchmark
+from repro.dsl.simplify import expressible_in_fidex, expressible_in_flashfill
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class DslCoverage:
+    """How many benchmark regexes fall inside the FlashFill / Fidex fragments."""
+
+    total: int
+    flashfill: int
+    fidex: int
+
+    def table(self) -> str:
+        headers = ["DSL", "expressible", "total"]
+        rows = [["FlashFill", self.flashfill, self.total], ["Fidex", self.fidex, self.total]]
+        return format_table(headers, rows, title="DSL coverage of the StackOverflow corpus")
+
+
+def dsl_coverage(benchmarks: Optional[Sequence[Benchmark]] = None) -> DslCoverage:
+    """Footnote 9: FlashFill expresses 3/62 and Fidex 7/62 of the corpus."""
+    if benchmarks is None:
+        benchmarks = stackoverflow_dataset(with_examples=False)
+    regexes = [benchmark.regex for benchmark in benchmarks]
+    return DslCoverage(
+        total=len(regexes),
+        flashfill=sum(1 for regex in regexes if expressible_in_flashfill(regex)),
+        fidex=sum(1 for regex in regexes if expressible_in_fidex(regex)),
+    )
+
+
+@dataclass
+class DatasetStatistics:
+    """The corpus statistics reported in Section 7 / footnote 10."""
+
+    name: str
+    size: int
+    avg_words: float
+    avg_regex_size: float
+    avg_positive: float
+    avg_negative: float
+
+    def row(self) -> list:
+        return [
+            self.name,
+            self.size,
+            self.avg_words,
+            self.avg_regex_size,
+            self.avg_positive,
+            self.avg_negative,
+        ]
+
+
+def dataset_statistics(
+    deepregex_count: int = 50,
+    stackoverflow_benchmarks: Optional[Sequence[Benchmark]] = None,
+) -> Dict[str, DatasetStatistics]:
+    """Compute the dataset statistics for both corpora."""
+    corpora = {
+        "deepregex": generate_deepregex_dataset(count=deepregex_count),
+        "stackoverflow": list(stackoverflow_benchmarks)
+        if stackoverflow_benchmarks is not None
+        else stackoverflow_dataset(),
+    }
+    stats = {}
+    for name, benchmarks in corpora.items():
+        stats[name] = DatasetStatistics(
+            name=name,
+            size=len(benchmarks),
+            avg_words=_mean([b.word_count() for b in benchmarks]),
+            avg_regex_size=_mean([b.regex_size() for b in benchmarks]),
+            avg_positive=_mean([len(b.positive) for b in benchmarks]),
+            avg_negative=_mean([len(b.negative) for b in benchmarks]),
+        )
+    return stats
+
+
+def statistics_table(stats: Dict[str, DatasetStatistics]) -> str:
+    headers = ["dataset", "size", "avg words", "avg regex size", "avg pos", "avg neg"]
+    return format_table(headers, [s.row() for s in stats.values()], title="Dataset statistics")
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,101 @@
+"""Figure 16: number of solved benchmarks over iterations, per tool and dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets import generate_deepregex_dataset, stackoverflow_dataset
+from repro.datasets.benchmark import Benchmark
+from repro.datasets.splits import train_test_split
+from repro.experiments.metrics import solved_by_iteration
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    BenchmarkRun,
+    ToolName,
+    evaluate_tool,
+    make_deepregex_solver,
+    make_pbe_solver,
+    make_regel_solver,
+    trained_parser,
+)
+from repro.synthesis import SynthesisConfig
+
+
+@dataclass
+class Figure16Result:
+    """Solved-benchmark counts per iteration for each tool (one dataset)."""
+
+    dataset: str
+    total: int
+    series: Dict[str, List[int]] = field(default_factory=dict)
+    runs: Dict[str, List[BenchmarkRun]] = field(default_factory=dict)
+
+    def table(self, max_iterations: int = 4) -> str:
+        headers = ["tool"] + [f"iter {i}" for i in range(max_iterations + 1)] + ["total"]
+        rows = [
+            [tool, *counts, self.total]
+            for tool, counts in self.series.items()
+        ]
+        return format_table(headers, rows, title=f"Figure 16 ({self.dataset})")
+
+
+def figure16(
+    dataset: str = "stackoverflow",
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    num_benchmarks: Optional[int] = None,
+    time_budget: float = 5.0,
+    k: Optional[int] = None,
+    max_iterations: int = 4,
+    num_sketches: int = 25,
+    config: Optional[SynthesisConfig] = None,
+    train_parser: bool = True,
+    tools: Sequence[ToolName] = (ToolName.REGEL, ToolName.REGEL_PBE, ToolName.DEEPREGEX),
+) -> Figure16Result:
+    """Regenerate Figure 16 for one dataset.
+
+    The paper uses ``t=10s, k=1`` for the DeepRegex dataset and ``t=60s, k=5``
+    for StackOverflow; ``time_budget``/``k`` default to scaled-down values so
+    the experiment completes quickly (pass paper-scale values to match the
+    original protocol).
+    """
+    if benchmarks is None:
+        benchmarks = _load(dataset, num_benchmarks)
+    else:
+        benchmarks = list(benchmarks)
+    if k is None:
+        k = 5 if dataset == "stackoverflow" else 1
+    config = config or SynthesisConfig(timeout=time_budget, hole_depth=3)
+
+    if train_parser:
+        train, _ = train_test_split(benchmarks, 0.6, seed=29)
+        parser = trained_parser(train)
+    else:
+        parser = None
+
+    solvers = {
+        ToolName.REGEL: make_regel_solver(
+            parser=parser, config=config, k=k, time_budget=time_budget, num_sketches=num_sketches
+        ),
+        ToolName.REGEL_PBE: make_pbe_solver(config=config, k=k, time_budget=time_budget),
+        ToolName.DEEPREGEX: make_deepregex_solver(parser=parser),
+    }
+
+    result = Figure16Result(dataset=dataset, total=len(benchmarks))
+    for tool in tools:
+        runs = evaluate_tool(tool, benchmarks, solvers[tool], max_iterations=max_iterations)
+        result.runs[tool.value] = runs
+        result.series[tool.value] = solved_by_iteration(runs, max_iterations)
+    return result
+
+
+def _load(dataset: str, num_benchmarks: Optional[int]) -> List[Benchmark]:
+    if dataset == "stackoverflow":
+        data = stackoverflow_dataset()
+    elif dataset == "deepregex":
+        data = generate_deepregex_dataset(count=num_benchmarks or 200)
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    if num_benchmarks is not None:
+        data = data[:num_benchmarks]
+    return data

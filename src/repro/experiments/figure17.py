@@ -1,0 +1,59 @@
+"""Figure 17: average running time per solved benchmark over iterations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets.benchmark import Benchmark
+from repro.experiments.figure16 import Figure16Result, figure16
+from repro.experiments.metrics import average_time_per_solved
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ToolName
+from repro.synthesis import SynthesisConfig
+
+
+@dataclass
+class Figure17Result:
+    """Average synthesis time (seconds) per solved benchmark, per iteration."""
+
+    dataset: str
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def table(self, max_iterations: int = 4) -> str:
+        headers = ["tool"] + [f"iter {i}" for i in range(max_iterations + 1)]
+        rows = [[tool, *values] for tool, values in self.series.items()]
+        return format_table(headers, rows, title=f"Figure 17 ({self.dataset})")
+
+
+def figure17(
+    dataset: str = "stackoverflow",
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    num_benchmarks: Optional[int] = None,
+    time_budget: float = 5.0,
+    max_iterations: int = 4,
+    config: Optional[SynthesisConfig] = None,
+    from_figure16: Optional[Figure16Result] = None,
+) -> Figure17Result:
+    """Regenerate Figure 17.
+
+    DeepRegex is omitted, as in the paper ("the prediction time of the seq2seq
+    model is negligible").  If a :class:`Figure16Result` is supplied its runs
+    are reused instead of re-running the tools.
+    """
+    if from_figure16 is None:
+        from_figure16 = figure16(
+            dataset=dataset,
+            benchmarks=benchmarks,
+            num_benchmarks=num_benchmarks,
+            time_budget=time_budget,
+            max_iterations=max_iterations,
+            config=config,
+            tools=(ToolName.REGEL, ToolName.REGEL_PBE),
+        )
+    result = Figure17Result(dataset=from_figure16.dataset)
+    for tool, runs in from_figure16.runs.items():
+        if tool == ToolName.DEEPREGEX.value:
+            continue
+        result.series[tool] = average_time_per_solved(runs, max_iterations)
+    return result

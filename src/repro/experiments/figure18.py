@@ -1,0 +1,92 @@
+"""Figure 18: PBE-engine ablation — solved sketches vs. cumulative time.
+
+For every StackOverflow benchmark the semantic parser's top-25 sketches are
+collected; each engine variant (Regel-Enum, Regel-Approx, Regel) then tries to
+complete every sketch against the benchmark's examples within a per-sketch
+budget.  The figure plots, for each variant, the cumulative running time
+against the number of sketches solved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets import stackoverflow_dataset
+from repro.datasets.benchmark import Benchmark
+from repro.experiments.reporting import format_table
+from repro.nlp.sketch_gen import SemanticParser
+from repro.sketch.ast import Sketch
+from repro.synthesis import Examples, EngineVariant, SynthesisConfig, Synthesizer
+
+
+@dataclass
+class AblationResult:
+    """Per-variant solve times over the sketch pool."""
+
+    total_sketches: int
+    #: Per variant: sorted list of times (seconds) of *solved* sketches.
+    solve_times: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per variant: total time spent (solved + unsolved sketches).
+    total_time: Dict[str, float] = field(default_factory=dict)
+
+    def solved_counts(self) -> Dict[str, int]:
+        return {variant: len(times) for variant, times in self.solve_times.items()}
+
+    def cumulative_curve(self, variant: str) -> List[tuple[int, float]]:
+        """Points (number of solved sketches, cumulative time) for one variant."""
+        curve = []
+        total = 0.0
+        for index, elapsed in enumerate(sorted(self.solve_times[variant]), start=1):
+            total += elapsed
+            curve.append((index, total))
+        return curve
+
+    def table(self) -> str:
+        headers = ["variant", "solved sketches", "total sketches", "cumulative time (s)"]
+        rows = []
+        for variant, times in self.solve_times.items():
+            rows.append([variant, len(times), self.total_sketches, sum(times)])
+        return format_table(headers, rows, title="Figure 18 (ablation)")
+
+
+def figure18(
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    num_benchmarks: int = 8,
+    sketches_per_benchmark: int = 25,
+    per_sketch_timeout: float = 1.0,
+    config: Optional[SynthesisConfig] = None,
+    parser: Optional[SemanticParser] = None,
+    variants: Sequence[EngineVariant] = (
+        EngineVariant.ENUM,
+        EngineVariant.APPROX,
+        EngineVariant.FULL,
+    ),
+) -> AblationResult:
+    """Run the ablation.  Paper scale: all 62 benchmarks × top-25 sketches."""
+    if benchmarks is None:
+        benchmarks = stackoverflow_dataset()[:num_benchmarks]
+    parser = parser or SemanticParser()
+    base_config = config or SynthesisConfig(hole_depth=3)
+
+    pool: List[tuple[Sketch, Examples]] = []
+    for benchmark in benchmarks:
+        examples = Examples(benchmark.positive, benchmark.negative)
+        for sketch in parser.sketches(benchmark.description, k=sketches_per_benchmark):
+            pool.append((sketch, examples))
+
+    result = AblationResult(total_sketches=len(pool))
+    for variant in variants:
+        variant_config = base_config.for_variant(variant)
+        variant_config.timeout = per_sketch_timeout
+        times: List[float] = []
+        total = 0.0
+        for sketch, examples in pool:
+            engine = Synthesizer(variant_config)
+            outcome = engine.synthesize(sketch, examples)
+            total += outcome.elapsed
+            if outcome.solved:
+                times.append(outcome.elapsed)
+        result.solve_times[variant.value] = times
+        result.total_time[variant.value] = total
+    return result

@@ -1,0 +1,18 @@
+"""The multi-modal Regel tool: natural language + examples → top-k regexes.
+
+This package wires together the semantic parser (:mod:`repro.nlp`) and the
+sketch-guided PBE engine (:mod:`repro.synthesis`) into the end-to-end system
+of Figure 1, plus the interactive example-feedback protocol used by the
+evaluation (Section 8.1).
+"""
+
+from repro.multimodal.regel import Regel, RegelResult
+from repro.multimodal.interaction import InteractiveSession, IterationOutcome, run_interactive
+
+__all__ = [
+    "Regel",
+    "RegelResult",
+    "InteractiveSession",
+    "IterationOutcome",
+    "run_interactive",
+]

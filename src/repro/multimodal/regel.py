@@ -1,0 +1,116 @@
+"""Top-level Regel tool (Section 6, "Implementation").
+
+Workflow: the semantic parser generates up to 500 derivations, which are
+de-duplicated and ranked into at most 25 sketches; one PBE engine instance is
+run per sketch (the paper runs them in parallel, we run them sequentially
+against a shared wall-clock budget, which preserves the tool's semantics —
+up to ``k`` results within budget ``t``); results are de-duplicated and the
+smallest ``k`` consistent regexes are returned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dsl import ast as rast
+from repro.dsl.printer import to_dsl_string
+from repro.nlp.sketch_gen import SemanticParser
+from repro.sketch.ast import Hole, Sketch
+from repro.synthesis import Examples, SynthesisConfig, Synthesizer
+from repro.synthesis.config import EngineVariant
+
+
+@dataclass
+class RegelResult:
+    """Outcome of one Regel invocation."""
+
+    #: Up to ``k`` regexes consistent with the examples, smallest first.
+    regexes: List[rast.Regex] = field(default_factory=list)
+    #: Number of sketches the PBE engine attempted within the budget.
+    sketches_tried: int = 0
+    #: Total wall-clock time in seconds.
+    elapsed: float = 0.0
+    #: Per-sketch synthesis times (seconds) for solved sketches.
+    per_sketch_times: List[float] = field(default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        return bool(self.regexes)
+
+    @property
+    def best(self) -> Optional[rast.Regex]:
+        return self.regexes[0] if self.regexes else None
+
+
+class Regel:
+    """Multi-modal regex synthesizer: English description + examples."""
+
+    def __init__(
+        self,
+        parser: Optional[SemanticParser] = None,
+        config: Optional[SynthesisConfig] = None,
+        num_sketches: int = 25,
+        variant: EngineVariant = EngineVariant.FULL,
+    ):
+        self.parser = parser or SemanticParser()
+        self.config = config or SynthesisConfig()
+        self.num_sketches = num_sketches
+        self.variant = variant
+
+    def synthesize(
+        self,
+        description: str,
+        positive: Sequence[str],
+        negative: Sequence[str],
+        k: int = 1,
+        time_budget: Optional[float] = None,
+        sketches: Optional[Sequence[Sketch]] = None,
+    ) -> RegelResult:
+        """Synthesize up to ``k`` regexes within ``time_budget`` seconds.
+
+        ``sketches`` overrides the semantic parser's output (used by the
+        ablations and by Regel-PBE, which always passes a single
+        unconstrained hole).
+        """
+        start = time.monotonic()
+        budget = time_budget if time_budget is not None else self.config.timeout
+        deadline = start + budget
+        examples = Examples(positive, negative)
+        if sketches is None:
+            sketches = self.parser.sketches(description, k=self.num_sketches)
+
+        result = RegelResult()
+        seen: set[str] = set()
+        for sketch in sketches:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or len(result.regexes) >= k:
+                break
+            config = self.config.for_variant(self.variant)
+            config.timeout = min(config.timeout, remaining)
+            engine = Synthesizer(config)
+            outcome = engine.synthesize(sketch, examples)
+            result.sketches_tried += 1
+            if outcome.solved:
+                result.per_sketch_times.append(outcome.elapsed)
+            for regex in outcome.regexes:
+                key = to_dsl_string(regex)
+                if key not in seen:
+                    seen.add(key)
+                    result.regexes.append(regex)
+        result.regexes.sort(key=lambda regex: _rank(regex))
+        result.regexes = result.regexes[:k]
+        result.elapsed = time.monotonic() - start
+        return result
+
+
+def _rank(regex: rast.Regex) -> tuple[int, str]:
+    from repro.dsl.simplify import size
+
+    return size(regex), to_dsl_string(regex)
+
+
+def pbe_only_sketches() -> List[Sketch]:
+    """The sketch list used by the Regel-PBE baseline: one unconstrained hole."""
+    return [Hole(())]

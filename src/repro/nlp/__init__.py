@@ -1,0 +1,38 @@
+"""Semantic parsing of English descriptions into hierarchical sketches (Section 5).
+
+The original Regel builds its sketch generator on the SEMPRE framework.  This
+package is a self-contained replacement implementing the same formalism:
+
+* a tokenizer with light normalisation (:mod:`repro.nlp.tokenizer`),
+* a lexicon of word → DSL-concept rules (:mod:`repro.nlp.lexicon`,
+  Appendix B lexical rules),
+* compositional grammar rules with semantic functions
+  (:mod:`repro.nlp.grammar`, Appendix B compositional rules),
+* a chart parser with token skipping and beam search
+  (:mod:`repro.nlp.parser`),
+* a discriminative log-linear model over rule and span features with
+  training from (utterance, gold sketch) pairs (:mod:`repro.nlp.model`),
+* the top-level :class:`repro.nlp.sketch_gen.SemanticParser` that produces a
+  ranked, de-duplicated list of h-sketches for an utterance (Section 5.3 and
+  the "Eliminating redundant sketches" optimisation of Section 6).
+"""
+
+from repro.nlp.tokenizer import tokenize, Token
+from repro.nlp.lexicon import LexicalEntry, LEXICON
+from repro.nlp.grammar import Rule, GRAMMAR_RULES
+from repro.nlp.parser import Derivation, ChartParser
+from repro.nlp.model import LogLinearModel
+from repro.nlp.sketch_gen import SemanticParser
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexicalEntry",
+    "LEXICON",
+    "Rule",
+    "GRAMMAR_RULES",
+    "Derivation",
+    "ChartParser",
+    "LogLinearModel",
+    "SemanticParser",
+]

@@ -1,0 +1,147 @@
+"""Top-level semantic parser: English description → ranked h-sketches.
+
+This is the component labelled "Semantic Parser" in Figure 1.  It wraps the
+chart parser and the log-linear model, de-duplicates semantically identical
+sketches (Section 6, "Eliminating redundant sketches"), and exposes the
+ranked sketch list consumed by the PBE engine, as well as a direct
+NL→regex mode used by the DeepRegex-style baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dsl import ast as rast
+from repro.nlp.model import LogLinearModel
+from repro.nlp.parser import ChartParser, Derivation
+from repro.sketch import ast as sast
+from repro.sketch.printer import sketch_to_string
+
+
+class SemanticParser:
+    """Generates a ranked list of hierarchical sketches for an utterance."""
+
+    def __init__(
+        self,
+        model: Optional[LogLinearModel] = None,
+        beam_size: int = 40,
+        max_derivations: int = 500,
+    ):
+        self.model = model or LogLinearModel()
+        self.beam_size = beam_size
+        self.max_derivations = max_derivations
+
+    def _parser(self) -> ChartParser:
+        return ChartParser(model=self.model, beam_size=self.beam_size)
+
+    # -- sketch generation -----------------------------------------------------
+
+    def derivations(self, text: str) -> List[Derivation]:
+        """Ranked root derivations (up to ``max_derivations``)."""
+        return self._parser().parse(text)[: self.max_derivations]
+
+    def sketches(self, text: str, k: int = 25) -> List[sast.Sketch]:
+        """The top-``k`` distinct h-sketches for an English description.
+
+        The paper's implementation generates up to 500 derivations, maps each
+        to a sketch, removes duplicates, and hands the top 25 to the PBE
+        engine.
+        """
+        ranked: List[sast.Sketch] = []
+        seen: set[str] = set()
+
+        def push(sketch: sast.Sketch) -> None:
+            key = sketch_to_string(sketch)
+            if key not in seen:
+                seen.add(key)
+                ranked.append(sketch)
+
+        for derivation in self.derivations(text):
+            sketch = derivation.value
+            if not isinstance(sketch, sast.Sketch):
+                continue
+            push(sketch)
+            # A fully concrete parse also yields a more tolerant variant that
+            # treats the parsed regex as a hint inside a hole.
+            if isinstance(sketch, sast.ConcreteRegexSketch):
+                push(sast.Hole((sketch,)))
+            if len(ranked) >= 3 * k:
+                break
+        if not ranked:
+            # Fall back to a completely unconstrained sketch so the PBE engine
+            # can still run (this is what Regel-PBE always does).
+            ranked.append(sast.Hole(()))
+        return ranked[:k]
+
+    # -- direct translation (DeepRegex-style baseline) ---------------------------
+
+    def translate(self, text: str) -> Optional[rast.Regex]:
+        """Best-effort direct NL→regex translation without examples.
+
+        Returns the highest-scoring derivation's value, concretising sketches
+        by the obvious reading (holes become the concatenation of their hints).
+        This mirrors what an NL-only system must do: commit to one reading.
+        """
+        for derivation in self.derivations(text):
+            sketch = derivation.value
+            if not isinstance(sketch, sast.Sketch):
+                continue
+            regex = concretize_sketch(sketch)
+            if regex is not None:
+                return regex
+        return None
+
+    # -- training ----------------------------------------------------------------
+
+    def train(
+        self,
+        examples: Sequence[Tuple[str, str]],
+        epochs: int = 5,
+        learning_rate: float = 0.1,
+    ) -> dict:
+        """Train the log-linear model from (utterance, gold sketch string) pairs."""
+        def is_correct(derivation: Derivation, gold: str) -> bool:
+            value = derivation.value
+            if not isinstance(value, sast.Sketch):
+                return False
+            return sketch_to_string(value) == gold
+
+        return self.model.train(
+            examples,
+            parser_factory=self._parser,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            is_correct=is_correct,
+        )
+
+
+def concretize_sketch(sketch: sast.Sketch) -> Optional[rast.Regex]:
+    """Commit a sketch to one concrete regex (holes → concatenation of hints)."""
+    if isinstance(sketch, sast.ConcreteRegexSketch):
+        return sketch.regex
+    if isinstance(sketch, sast.Hole):
+        parts = [concretize_sketch(component) for component in sketch.components]
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            return None
+        result = parts[0]
+        for part in parts[1:]:
+            result = rast.Concat(result, part)
+        return result
+    if isinstance(sketch, sast.OpSketch):
+        args = [concretize_sketch(arg) for arg in sketch.args]
+        if any(arg is None for arg in args):
+            return None
+        ctor = sast.UNARY_SKETCH_OPS.get(sketch.op) or sast.BINARY_SKETCH_OPS[sketch.op]
+        return ctor(*args)
+    if isinstance(sketch, sast.IntOpSketch):
+        arg = concretize_sketch(sketch.arg)
+        if arg is None:
+            return None
+        ctor, _ = sast.INT_SKETCH_OPS[sketch.op]
+        ints = [value if value is not None else 1 for value in sketch.ints]
+        try:
+            return ctor(arg, *ints)
+        except ValueError:
+            return None
+    raise TypeError(f"unknown sketch node: {sketch!r}")

@@ -1,0 +1,81 @@
+"""Tokenisation and light linguistic normalisation of utterances.
+
+SEMPRE ships a linguistic pre-processor (lemmatisation, number recognition);
+we implement the small subset that the regex-description domain needs:
+lower-casing, plural stripping, number-word recognition, and treatment of
+quoted strings as single literal tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+_NUMBER_WORDS = {
+    "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10, "eleven": 11,
+    "twelve": 12, "thirteen": 13, "fourteen": 14, "fifteen": 15, "sixteen": 16,
+    "seventeen": 17, "eighteen": 18, "nineteen": 19, "twenty": 20,
+    "single": 1, "twice": 2,
+}
+
+#: Words whose trailing "s" must not be stripped (not plurals).
+_KEEP_S = {"is", "was", "this", "as", "has", "less", "plus", "address", "class"}
+
+_QUOTED = re.compile(r"""("[^"]*"|'[^']*')""")
+_WORD = re.compile(r"[A-Za-z]+|\d+|[^\sA-Za-z\d]")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token of the utterance."""
+
+    #: Normalised form used for lexicon lookup.
+    lemma: str
+    #: Original surface form.
+    surface: str
+    #: Integer value if the token denotes a number, else None.
+    number: Optional[int] = None
+    #: Literal string value if the token is a quoted constant, else None.
+    quoted: Optional[str] = None
+
+
+def _lemmatise(word: str) -> str:
+    lowered = word.lower()
+    if lowered in _NUMBER_WORDS:
+        return lowered
+    if lowered.endswith("ies") and len(lowered) > 4:
+        return lowered[:-3] + "y"
+    if lowered.endswith("es") and len(lowered) > 4 and lowered[-3] in "shx":
+        return lowered[:-2]
+    if lowered.endswith("s") and len(lowered) > 3 and lowered not in _KEEP_S:
+        return lowered[:-1]
+    if lowered.endswith("ed") and len(lowered) > 4:
+        # followed -> follow, separated -> separate (close enough for lookup)
+        stripped = lowered[:-2]
+        return stripped + "e" if stripped.endswith(("at", "rat", "par")) else stripped
+    if lowered.endswith("ing") and len(lowered) > 5:
+        return lowered[:-3]
+    return lowered
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise an English description into normalised tokens."""
+    tokens: List[Token] = []
+    pieces = _QUOTED.split(text)
+    for index, piece in enumerate(pieces):
+        if index % 2 == 1:
+            literal = piece[1:-1]
+            tokens.append(Token(lemma="<quoted>", surface=piece, quoted=literal))
+            continue
+        for match in _WORD.finditer(piece):
+            word = match.group(0)
+            if word.isdigit():
+                tokens.append(Token(lemma=word, surface=word, number=int(word)))
+                continue
+            lemma = _lemmatise(word)
+            number = _NUMBER_WORDS.get(lemma)
+            tokens.append(Token(lemma=lemma, surface=word, number=number))
+    return tokens

@@ -1,0 +1,43 @@
+"""Hierarchical sketch (h-sketch) language — Section 3.2 of the paper.
+
+An h-sketch represents a family of regexes that share a high-level structure
+and are built from particular components ("hints") extracted from the natural
+language description.  The central construct is the *constrained hole*
+``□^d{S1, .., Sm}``: an unknown regex of depth at most ``d`` that must contain
+a regex from one of the component sketches ``Si`` as a leaf.
+"""
+
+from repro.sketch.ast import (
+    Sketch,
+    Hole,
+    OpSketch,
+    IntOpSketch,
+    ConcreteRegexSketch,
+    concrete,
+    hole,
+    UNARY_SKETCH_OPS,
+    BINARY_SKETCH_OPS,
+    INT_SKETCH_OPS,
+)
+from repro.sketch.semantics import sketch_contains, sketch_components, sketch_size
+from repro.sketch.parser import parse_sketch, SketchParseError
+from repro.sketch.printer import sketch_to_string
+
+__all__ = [
+    "Sketch",
+    "Hole",
+    "OpSketch",
+    "IntOpSketch",
+    "ConcreteRegexSketch",
+    "concrete",
+    "hole",
+    "UNARY_SKETCH_OPS",
+    "BINARY_SKETCH_OPS",
+    "INT_SKETCH_OPS",
+    "sketch_contains",
+    "sketch_components",
+    "sketch_size",
+    "parse_sketch",
+    "SketchParseError",
+    "sketch_to_string",
+]

@@ -1,0 +1,137 @@
+"""AST of the hierarchical sketch language (Figure 7 of the paper).
+
+A sketch is one of:
+
+* a **constrained hole** ``□{S1, .., Sm}`` (:class:`Hole`) — an unknown regex
+  that must contain a completion of one of the component sketches as a leaf;
+  the depth bound ``d`` is supplied by the synthesis engine (a configuration
+  parameter, see the remark at the end of Section 3.2),
+* an **operator applied to sketches** (:class:`OpSketch`), e.g.
+  ``Concat(S1, S2)``,
+* an **operator with integer arguments** (:class:`IntOpSketch`), whose integer
+  arguments are either concrete or *symbolic integers* to be solved by the
+  ``InferConstants`` procedure,
+* a **concrete regex** (:class:`ConcreteRegexSketch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.dsl import ast as rast
+
+
+#: Sketch-level operator names without integer arguments, keyed by arity.
+UNARY_SKETCH_OPS = {
+    "StartsWith": rast.StartsWith,
+    "EndsWith": rast.EndsWith,
+    "Contains": rast.Contains,
+    "Not": rast.Not,
+    "Optional": rast.Optional,
+    "KleeneStar": rast.KleeneStar,
+}
+BINARY_SKETCH_OPS = {
+    "Concat": rast.Concat,
+    "Or": rast.Or,
+    "And": rast.And,
+}
+#: Operator names with integer arguments -> (constructor, number of integers).
+INT_SKETCH_OPS = {
+    "Repeat": (rast.Repeat, 1),
+    "RepeatAtLeast": (rast.RepeatAtLeast, 1),
+    "RepeatRange": (rast.RepeatRange, 2),
+}
+
+
+class Sketch:
+    """Base class of hierarchical sketches."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        from repro.sketch.printer import sketch_to_string
+
+        return sketch_to_string(self)
+
+
+@dataclass(frozen=True, repr=False)
+class Hole(Sketch):
+    """A constrained hole ``□{S1, .., Sm}``.
+
+    ``components`` may be empty, which denotes a completely unconstrained
+    hole (this is how the pure-PBE baseline Regel-PBE starts its search).
+    """
+
+    components: tuple[Sketch, ...] = ()
+
+    def __init__(self, components: Iterable[Sketch] = ()):
+        object.__setattr__(self, "components", tuple(components))
+
+
+@dataclass(frozen=True, repr=False)
+class OpSketch(Sketch):
+    """A DSL operator (without integer arguments) applied to sketches."""
+
+    op: str
+    args: tuple[Sketch, ...]
+
+    def __init__(self, op: str, args: Iterable[Sketch]):
+        args = tuple(args)
+        if op in UNARY_SKETCH_OPS:
+            expected = 1
+        elif op in BINARY_SKETCH_OPS:
+            expected = 2
+        else:
+            raise ValueError(f"unknown sketch operator {op!r}")
+        if len(args) != expected:
+            raise ValueError(f"{op} expects {expected} argument(s), got {len(args)}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", args)
+
+
+@dataclass(frozen=True, repr=False)
+class IntOpSketch(Sketch):
+    """A Repeat-family operator applied to a sketch.
+
+    ``ints`` holds the integer arguments; ``None`` entries are symbolic
+    integers (the ``κ`` of the paper) to be solved during synthesis.
+    """
+
+    op: str
+    arg: Sketch
+    ints: tuple[Optional[int], ...]
+
+    def __init__(self, op: str, arg: Sketch, ints: Optional[Sequence[Optional[int]]] = None):
+        if op not in INT_SKETCH_OPS:
+            raise ValueError(f"unknown integer-argument sketch operator {op!r}")
+        _, count = INT_SKETCH_OPS[op]
+        if ints is None:
+            ints = (None,) * count
+        ints = tuple(ints)
+        if len(ints) != count:
+            raise ValueError(f"{op} expects {count} integer argument(s), got {len(ints)}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "arg", arg)
+        object.__setattr__(self, "ints", ints)
+
+
+@dataclass(frozen=True, repr=False)
+class ConcreteRegexSketch(Sketch):
+    """A concrete regex used as a sketch component."""
+
+    regex: rast.Regex
+
+
+def concrete(regex: rast.Regex) -> ConcreteRegexSketch:
+    """Wrap a concrete regex as a sketch."""
+    return ConcreteRegexSketch(regex)
+
+
+def hole(*components: "Sketch | rast.Regex") -> Hole:
+    """Build a constrained hole, wrapping plain regexes as concrete sketches."""
+    wrapped = tuple(
+        component if isinstance(component, Sketch) else ConcreteRegexSketch(component)
+        for component in components
+    )
+    return Hole(wrapped)

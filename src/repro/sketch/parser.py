@@ -1,0 +1,180 @@
+"""Parser for the textual sketch notation.
+
+Grammar (whitespace-insensitive):
+
+.. code-block:: text
+
+    sketch  := 'Hole' '(' [sketch (',' sketch)*] ')'
+             | op '(' sketch (',' sketch)* [',' intarg]* ')'
+             | regex                                    (concrete regex)
+    intarg  := integer | '?'                            ('?' = symbolic)
+
+Gold sketch labels in the datasets and the output of the semantic parser are
+both serialised in this notation.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast as rast
+from repro.dsl.parser import RegexParseError, parse_regex
+from repro.sketch import ast as sast
+
+
+class SketchParseError(ValueError):
+    """Raised when a sketch string cannot be parsed."""
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> SketchParseError:
+        return SketchParseError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return "" if self.eof() else self.text[self.pos]
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.text[self.pos] in " \n":
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def parse(self) -> sast.Sketch:
+        sketch = self.parse_sketch()
+        self.skip_ws()
+        if not self.eof():
+            raise self.error("trailing input")
+        return sketch
+
+    def parse_sketch(self) -> sast.Sketch:
+        self.skip_ws()
+        if self.peek() == "<":
+            return sast.ConcreteRegexSketch(self._parse_concrete_leaf())
+        name = self._peek_name()
+        if name == "Hole":
+            return self._parse_hole()
+        if name in sast.UNARY_SKETCH_OPS or name in sast.BINARY_SKETCH_OPS:
+            return self._parse_op(name)
+        if name in sast.INT_SKETCH_OPS:
+            return self._parse_int_op(name)
+        raise self.error(f"unknown sketch constructor {name!r}")
+
+    # -- pieces -------------------------------------------------------------
+
+    def _peek_name(self) -> str:
+        self.skip_ws()
+        end = self.pos
+        while end < len(self.text) and self.text[end].isalpha():
+            end += 1
+        return self.text[self.pos:end]
+
+    def _consume_name(self) -> str:
+        name = self._peek_name()
+        self.pos += len(name)
+        return name
+
+    def _parse_hole(self) -> sast.Hole:
+        self._consume_name()
+        self.expect("(")
+        components: list[sast.Sketch] = []
+        self.skip_ws()
+        if self.peek() != ")":
+            components.append(self.parse_sketch())
+            self.skip_ws()
+            while self.peek() == ",":
+                self.pos += 1
+                components.append(self.parse_sketch())
+                self.skip_ws()
+        self.expect(")")
+        return sast.Hole(components)
+
+    def _parse_op(self, name: str) -> sast.Sketch:
+        self._consume_name()
+        self.expect("(")
+        args = [self.parse_sketch()]
+        self.skip_ws()
+        while self.peek() == ",":
+            self.pos += 1
+            args.append(self.parse_sketch())
+            self.skip_ws()
+        self.expect(")")
+        collapsed = _collapse_concrete_op(name, args)
+        if collapsed is not None:
+            return collapsed
+        return sast.OpSketch(name, args)
+
+    def _parse_int_op(self, name: str) -> sast.Sketch:
+        self._consume_name()
+        self.expect("(")
+        arg = self.parse_sketch()
+        ints: list[int | None] = []
+        self.skip_ws()
+        while self.peek() == ",":
+            self.pos += 1
+            self.skip_ws()
+            if self.peek() == "?":
+                self.pos += 1
+                ints.append(None)
+            else:
+                start = self.pos
+                while not self.eof() and self.text[self.pos].isdigit():
+                    self.pos += 1
+                if start == self.pos:
+                    raise self.error("expected an integer or '?'")
+                ints.append(int(self.text[start:self.pos]))
+            self.skip_ws()
+        self.expect(")")
+        _, count = sast.INT_SKETCH_OPS[name]
+        if not ints:
+            ints = [None] * count
+        if len(ints) != count:
+            raise self.error(f"{name} expects {count} integer argument(s)")
+        if isinstance(arg, sast.ConcreteRegexSketch) and all(v is not None for v in ints):
+            ctor, _ = sast.INT_SKETCH_OPS[name]
+            try:
+                return sast.ConcreteRegexSketch(ctor(arg.regex, *ints))  # type: ignore[arg-type]
+            except ValueError as exc:
+                raise self.error(str(exc)) from exc
+        return sast.IntOpSketch(name, arg, tuple(ints))
+
+    def _parse_concrete_leaf(self) -> rast.Regex:
+        # Delegate the "<...>" token to the regex parser.
+        end = self.text.find(">", self.pos + 2)
+        if self.text[self.pos:self.pos + 3] in ("<<>", "<>>"):
+            end = self.pos + 2
+        if end == -1:
+            raise self.error("unterminated character class")
+        token = self.text[self.pos:end + 1]
+        self.pos = end + 1
+        try:
+            return parse_regex(token)
+        except RegexParseError as exc:
+            raise self.error(str(exc)) from exc
+
+
+def _collapse_concrete_op(name: str, args: list[sast.Sketch]) -> sast.Sketch | None:
+    """If every argument is a concrete regex, build a concrete sketch."""
+    if not all(isinstance(arg, sast.ConcreteRegexSketch) for arg in args):
+        return None
+    regex_args = [arg.regex for arg in args]  # type: ignore[union-attr]
+    ctor = sast.UNARY_SKETCH_OPS.get(name) or sast.BINARY_SKETCH_OPS.get(name)
+    if ctor is None:
+        return None
+    try:
+        return sast.ConcreteRegexSketch(ctor(*regex_args))
+    except (TypeError, ValueError):
+        return None
+
+
+def parse_sketch(text: str) -> sast.Sketch:
+    """Parse the textual sketch notation into a :class:`repro.sketch.ast.Sketch`."""
+    return _Parser(text).parse()

@@ -1,0 +1,26 @@
+"""Printer for hierarchical sketches (round-trips with :mod:`repro.sketch.parser`)."""
+
+from __future__ import annotations
+
+from repro.dsl.printer import to_dsl_string
+from repro.sketch import ast as sast
+
+
+def sketch_to_string(sketch: sast.Sketch) -> str:
+    """Render a sketch in textual notation.
+
+    Constrained holes are written ``Hole(S1,..,Sm)`` (the paper's ``□{..}``);
+    symbolic integers are written ``?``.
+    """
+    if isinstance(sketch, sast.Hole):
+        inner = ",".join(sketch_to_string(component) for component in sketch.components)
+        return f"Hole({inner})"
+    if isinstance(sketch, sast.OpSketch):
+        inner = ",".join(sketch_to_string(arg) for arg in sketch.args)
+        return f"{sketch.op}({inner})"
+    if isinstance(sketch, sast.IntOpSketch):
+        ints = ",".join("?" if value is None else str(value) for value in sketch.ints)
+        return f"{sketch.op}({sketch_to_string(sketch.arg)},{ints})"
+    if isinstance(sketch, sast.ConcreteRegexSketch):
+        return to_dsl_string(sketch.regex)
+    raise TypeError(f"unknown sketch node: {sketch!r}")

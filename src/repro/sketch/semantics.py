@@ -1,0 +1,139 @@
+"""Semantics of hierarchical sketches (Figure 8 of the paper).
+
+``sketch_contains(sketch, regex, depth)`` decides whether a concrete regex
+belongs to the language of an h-sketch.  The depth parameter bounds how deep
+the completion of a constrained hole may be, mirroring the ``□^d`` annotation
+of the paper (which Regel treats as a configuration parameter of the PBE
+engine rather than part of the parser output).
+"""
+
+from __future__ import annotations
+
+from repro.dsl import ast as rast
+from repro.sketch import ast as sast
+
+
+def sketch_contains(sketch: sast.Sketch, regex: rast.Regex, depth: int = 3) -> bool:
+    """Return True iff ``regex`` is in the language of ``sketch``.
+
+    ``depth`` is the bound ``d`` used for every constrained hole.
+    """
+    if isinstance(sketch, sast.ConcreteRegexSketch):
+        return sketch.regex == regex
+    if isinstance(sketch, sast.OpSketch):
+        expected_type = (
+            sast.UNARY_SKETCH_OPS.get(sketch.op) or sast.BINARY_SKETCH_OPS[sketch.op]
+        )
+        if type(regex) is not expected_type:
+            return False
+        children = regex.children()
+        if len(children) != len(sketch.args):
+            return False
+        return all(
+            sketch_contains(arg, child, depth)
+            for arg, child in zip(sketch.args, children)
+        )
+    if isinstance(sketch, sast.IntOpSketch):
+        ctor, _ = sast.INT_SKETCH_OPS[sketch.op]
+        if type(regex) is not ctor:
+            return False
+        actual_ints = _int_args(regex)
+        for expected, actual in zip(sketch.ints, actual_ints):
+            if expected is not None and expected != actual:
+                return False
+        return sketch_contains(sketch.arg, regex.children()[0], depth)
+    if isinstance(sketch, sast.Hole):
+        return _hole_contains(sketch.components, regex, depth, allow_free_leaves=False)
+    raise TypeError(f"unknown sketch node: {sketch!r}")
+
+
+def _hole_contains(
+    components: tuple[sast.Sketch, ...],
+    regex: rast.Regex,
+    depth: int,
+    allow_free_leaves: bool,
+) -> bool:
+    """Membership in ``□^depth{components}`` per Figure 8.
+
+    ``allow_free_leaves`` implements the ``□^{d-1}(C ∪ {S1..Sm})`` sets used
+    for the sibling positions of the recursive case: in those positions a
+    plain character class (or any regex built from character classes within
+    the depth bound) is also acceptable.
+    """
+    # An unconstrained hole accepts any regex within the depth bound.
+    if not components:
+        return _depth_of(regex) <= depth
+
+    # Case 1: the regex is a completion of one of the component sketches
+    # (the component counts as a single "leaf" for the depth bound).
+    if any(sketch_contains(component, regex, depth) for component in components):
+        return True
+    if allow_free_leaves and isinstance(regex, (rast.CharClass, rast.Epsilon)):
+        return True
+    if depth <= 1:
+        return False
+
+    # Case 2 (d > 1): the regex is an operator application where at least one
+    # argument recursively satisfies the constrained hole and the remaining
+    # arguments are built from character classes or hint components.
+    children = regex.children()
+    if not children:
+        return False
+    for index in range(len(children)):
+        if not _hole_contains(components, children[index], depth - 1, allow_free_leaves=False):
+            continue
+        others_ok = all(
+            _hole_contains(components, children[j], depth - 1, allow_free_leaves=True)
+            for j in range(len(children))
+            if j != index
+        )
+        if others_ok:
+            return True
+    return False
+
+
+def _depth_of(regex: rast.Regex) -> int:
+    children = regex.children()
+    if not children:
+        return 1
+    return 1 + max(_depth_of(child) for child in children)
+
+
+def _int_args(regex: rast.Regex) -> tuple[int, ...]:
+    if isinstance(regex, rast.Repeat):
+        return (regex.count,)
+    if isinstance(regex, rast.RepeatAtLeast):
+        return (regex.count,)
+    if isinstance(regex, rast.RepeatRange):
+        return (regex.low, regex.high)
+    return ()
+
+
+def sketch_components(sketch: sast.Sketch) -> list[sast.Sketch]:
+    """All hole components appearing anywhere in the sketch (the "hints")."""
+    out: list[sast.Sketch] = []
+    if isinstance(sketch, sast.Hole):
+        for component in sketch.components:
+            out.append(component)
+            out.extend(sketch_components(component))
+    elif isinstance(sketch, sast.OpSketch):
+        for arg in sketch.args:
+            out.extend(sketch_components(arg))
+    elif isinstance(sketch, sast.IntOpSketch):
+        out.extend(sketch_components(sketch.arg))
+    return out
+
+
+def sketch_size(sketch: sast.Sketch) -> int:
+    """Number of sketch nodes (concrete sub-regexes count their own size)."""
+    from repro.dsl.simplify import size as regex_size
+
+    if isinstance(sketch, sast.ConcreteRegexSketch):
+        return regex_size(sketch.regex)
+    if isinstance(sketch, sast.Hole):
+        return 1 + sum(sketch_size(component) for component in sketch.components)
+    if isinstance(sketch, sast.OpSketch):
+        return 1 + sum(sketch_size(arg) for arg in sketch.args)
+    if isinstance(sketch, sast.IntOpSketch):
+        return 1 + sketch_size(sketch.arg)
+    raise TypeError(f"unknown sketch node: {sketch!r}")

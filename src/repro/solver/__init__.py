@@ -1,0 +1,60 @@
+"""Bounded-integer constraint solver (the reproduction's Z3 substitute).
+
+The paper feeds the length constraints of Figure 13 to the Z3 SMT solver to
+prune symbolic regexes and to enumerate candidate values for symbolic
+integers.  Those constraints live in a small fragment: conjunctions and
+disjunctions of (in)equalities over non-negative bounded integers, with
+bilinear products introduced by the ``Repeat`` family.  This package
+implements a complete solver for exactly that fragment:
+
+* :mod:`repro.solver.terms` — the term/formula AST (variables, constants,
+  sums, products, comparisons, boolean connectives, existential quantifiers),
+* :mod:`repro.solver.solver` — interval propagation + connected-component
+  decomposition + backtracking search, returning models and supporting the
+  assumption/blocking-clause workflow of the ``InferConstants`` loop
+  (Figure 14).
+"""
+
+from repro.solver.terms import (
+    Term,
+    Const,
+    Var,
+    Add,
+    Mul,
+    Cmp,
+    BoolConst,
+    AndF,
+    OrF,
+    NotF,
+    Exists,
+    Formula,
+    TRUE,
+    FALSE,
+    conjoin,
+    disjoin,
+    var_names,
+)
+from repro.solver.solver import Solver, Interval, UNKNOWN
+
+__all__ = [
+    "Term",
+    "Const",
+    "Var",
+    "Add",
+    "Mul",
+    "Cmp",
+    "BoolConst",
+    "AndF",
+    "OrF",
+    "NotF",
+    "Exists",
+    "Formula",
+    "TRUE",
+    "FALSE",
+    "conjoin",
+    "disjoin",
+    "var_names",
+    "Solver",
+    "Interval",
+    "UNKNOWN",
+]

@@ -1,0 +1,249 @@
+"""Term and formula language of the bounded-integer constraint solver.
+
+The language mirrors what the Figure 13 encoding produces:
+
+* terms: integer constants, variables, sums, and products (products appear
+  when ``Repeat``-family operators multiply a sub-regex length by a symbolic
+  integer),
+* atoms: comparisons between terms,
+* formulas: boolean combinations and existential quantification (every
+  variable is ultimately existential, so the solver simply flattens
+  :class:`Exists` nodes, but keeping them in the AST preserves the paper's
+  presentation and documents which variables are "temporary").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+class Term:
+    """Base class of arithmetic terms."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "Term | int") -> "Term":
+        return Add((self, _coerce(other)))
+
+    def __mul__(self, other: "Term | int") -> "Term":
+        return Mul((self, _coerce(other)))
+
+
+def _coerce(value: Union["Term", int]) -> "Term":
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} as a term")
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """An integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A named integer variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Add(Term):
+    """Sum of terms."""
+
+    terms: tuple[Term, ...]
+
+    def __init__(self, terms: Iterable[Term]):
+        object.__setattr__(self, "terms", tuple(terms))
+
+
+@dataclass(frozen=True)
+class Mul(Term):
+    """Product of terms."""
+
+    terms: tuple[Term, ...]
+
+    def __init__(self, terms: Iterable[Term]):
+        object.__setattr__(self, "terms", tuple(terms))
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+class Formula:
+    """Base class of formulas."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    value: bool
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+_OPS = ("<=", "<", ">=", ">", "==", "!=")
+
+
+@dataclass(frozen=True)
+class Cmp(Formula):
+    """Comparison atom ``lhs op rhs``."""
+
+    op: str
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    arg: Formula
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over "temporary" length variables."""
+
+    variables: tuple[str, ...]
+    body: Formula
+
+    def __init__(self, variables: Iterable[str], body: Formula):
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "body", body)
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors and queries
+# ---------------------------------------------------------------------------
+
+def conjoin(parts: Sequence[Formula]) -> Formula:
+    """Conjunction with the obvious simplifications."""
+    flattened: list[Formula] = []
+    for part in parts:
+        if part == TRUE:
+            continue
+        if part == FALSE:
+            return FALSE
+        if isinstance(part, AndF):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return AndF(flattened)
+
+
+def disjoin(parts: Sequence[Formula]) -> Formula:
+    """Disjunction with the obvious simplifications."""
+    flattened: list[Formula] = []
+    for part in parts:
+        if part == FALSE:
+            continue
+        if part == TRUE:
+            return TRUE
+        if isinstance(part, OrF):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    if not flattened:
+        return FALSE
+    if len(flattened) == 1:
+        return flattened[0]
+    return OrF(flattened)
+
+
+def term_vars(term: Term) -> set[str]:
+    """Variable names occurring in a term."""
+    if isinstance(term, Var):
+        return {term.name}
+    if isinstance(term, Const):
+        return set()
+    if isinstance(term, (Add, Mul)):
+        out: set[str] = set()
+        for sub in term.terms:
+            out |= term_vars(sub)
+        return out
+    raise TypeError(f"unknown term: {term!r}")
+
+
+def var_names(formula: Formula) -> set[str]:
+    """All variable names occurring (free or bound) in a formula."""
+    if isinstance(formula, BoolConst):
+        return set()
+    if isinstance(formula, Cmp):
+        return term_vars(formula.lhs) | term_vars(formula.rhs)
+    if isinstance(formula, (AndF, OrF)):
+        out: set[str] = set()
+        for part in formula.parts:
+            out |= var_names(part)
+        return out
+    if isinstance(formula, NotF):
+        return var_names(formula.arg)
+    if isinstance(formula, Exists):
+        return set(formula.variables) | var_names(formula.body)
+    raise TypeError(f"unknown formula: {formula!r}")
+
+
+def substitute(formula: Formula, assignment: dict[str, int]) -> Formula:
+    """Substitute integer constants for variables throughout a formula."""
+
+    def sub_term(term: Term) -> Term:
+        if isinstance(term, Var):
+            if term.name in assignment:
+                return Const(assignment[term.name])
+            return term
+        if isinstance(term, Const):
+            return term
+        if isinstance(term, Add):
+            return Add(tuple(sub_term(t) for t in term.terms))
+        if isinstance(term, Mul):
+            return Mul(tuple(sub_term(t) for t in term.terms))
+        raise TypeError(f"unknown term: {term!r}")
+
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Cmp):
+        return Cmp(formula.op, sub_term(formula.lhs), sub_term(formula.rhs))
+    if isinstance(formula, AndF):
+        return AndF(tuple(substitute(p, assignment) for p in formula.parts))
+    if isinstance(formula, OrF):
+        return OrF(tuple(substitute(p, assignment) for p in formula.parts))
+    if isinstance(formula, NotF):
+        return NotF(substitute(formula.arg, assignment))
+    if isinstance(formula, Exists):
+        inner = {k: v for k, v in assignment.items() if k not in formula.variables}
+        return Exists(formula.variables, substitute(formula.body, inner))
+    raise TypeError(f"unknown formula: {formula!r}")

@@ -1,0 +1,64 @@
+"""Sketch-guided programming-by-example engine for regexes (Section 4).
+
+The engine performs top-down enumerative search over *partial regexes*
+(Figure 9), expanding open nodes according to their h-sketch labels
+(Figure 10), pruning infeasible candidates with sketch-guided over- and
+under-approximations (Figures 11–12), and solving for the integer arguments
+of ``Repeat``-family operators symbolically via length constraints
+(Figures 13–14).
+"""
+
+from repro.synthesis.config import SynthesisConfig, EngineVariant
+from repro.synthesis.examples import Examples
+from repro.synthesis.partial import (
+    PartialRegex,
+    PLeaf,
+    POp,
+    POpen,
+    SymInt,
+    HoleLabel,
+    FreeLabel,
+    is_concrete,
+    is_symbolic,
+    to_regex,
+    partial_size,
+    substitute_symint,
+    open_nodes,
+    symints_of,
+)
+from repro.synthesis.expand import expand, initial_partial
+from repro.synthesis.approximate import approximate_partial, approximate_sketch, infeasible
+from repro.synthesis.encode import encode_partial, constraint_for_examples
+from repro.synthesis.infer_constants import infer_constants
+from repro.synthesis.engine import Synthesizer, SynthesisResult, synthesize
+
+__all__ = [
+    "SynthesisConfig",
+    "EngineVariant",
+    "Examples",
+    "PartialRegex",
+    "PLeaf",
+    "POp",
+    "POpen",
+    "SymInt",
+    "HoleLabel",
+    "FreeLabel",
+    "is_concrete",
+    "is_symbolic",
+    "to_regex",
+    "partial_size",
+    "substitute_symint",
+    "open_nodes",
+    "symints_of",
+    "expand",
+    "initial_partial",
+    "approximate_partial",
+    "approximate_sketch",
+    "infeasible",
+    "encode_partial",
+    "constraint_for_examples",
+    "infer_constants",
+    "Synthesizer",
+    "SynthesisResult",
+    "synthesize",
+]

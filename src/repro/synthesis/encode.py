@@ -1,0 +1,201 @@
+"""Length-constraint encoding of symbolic regexes (Figure 13 of the paper).
+
+``encode_partial`` produces, for a symbolic regex ``P``, a formula ``φ`` and a
+variable ``x`` such that: *if* some instantiation of ``P``'s symbolic integers
+matches a string ``s``, then those integer values satisfy ``φ[len(s)/x]``
+(Theorem 10.4).  The formula is therefore an over-approximation used to prune
+infeasible integer assignments, never to prove feasibility.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, Iterable, Tuple
+
+from repro.dsl import ast as rast
+from repro.solver import terms as T
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.examples import Examples
+from repro.synthesis.partial import PartialRegex, PLeaf, POp, SymInt
+
+
+class _Encoder:
+    """One encoding pass; generates fresh length variables with a common prefix."""
+
+    def __init__(self, prefix: str, max_kappa: int):
+        self._counter = count(0)
+        self.prefix = prefix
+        self.max_kappa = max_kappa
+        self.kappa_names: set[str] = set()
+
+    def fresh(self) -> str:
+        return f"{self.prefix}x{next(self._counter)}"
+
+    # -- integer arguments --------------------------------------------------
+
+    def _int_term(self, value: int | SymInt) -> Tuple[T.Term, T.Formula]:
+        if isinstance(value, SymInt):
+            self.kappa_names.add(value.name)
+            bounds = T.conjoin([
+                T.Cmp(">=", T.Var(value.name), T.Const(1)),
+                T.Cmp("<=", T.Var(value.name), T.Const(self.max_kappa)),
+            ])
+            return T.Var(value.name), bounds
+        return T.Const(value), T.TRUE
+
+    # -- nodes ---------------------------------------------------------------
+
+    def encode(self, node: PartialRegex | rast.Regex) -> Tuple[T.Formula, str]:
+        """Encode a partial regex node or a concrete regex; returns (φ, x)."""
+        if isinstance(node, PLeaf):
+            return self.encode(node.regex)
+        if isinstance(node, POp):
+            return self._encode_op(
+                node.op,
+                list(node.children),
+                list(node.ints),
+            )
+        if isinstance(node, rast.Regex):
+            return self._encode_regex(node)
+        raise TypeError(f"cannot encode {node!r}")
+
+    def _encode_regex(self, regex: rast.Regex) -> Tuple[T.Formula, str]:
+        if isinstance(regex, rast.CharClass):
+            x = self.fresh()
+            return T.Cmp("==", T.Var(x), T.Const(1)), x
+        if isinstance(regex, rast.Epsilon):
+            x = self.fresh()
+            return T.Cmp("==", T.Var(x), T.Const(0)), x
+        if isinstance(regex, rast.EmptySet):
+            x = self.fresh()
+            return T.TRUE, x
+        name = type(regex).__name__
+        children = list(regex.children())
+        ints: list[int | SymInt] = []
+        if isinstance(regex, (rast.Repeat, rast.RepeatAtLeast)):
+            ints = [regex.count]
+        elif isinstance(regex, rast.RepeatRange):
+            ints = [regex.low, regex.high]
+        return self._encode_op(name, children, ints)
+
+    def _encode_op(
+        self,
+        op: str,
+        children: list,
+        ints: list,
+    ) -> Tuple[T.Formula, str]:
+        x = self.fresh()
+        xt = T.Var(x)
+
+        if op == "Not":
+            # Tracking length constraints under negation would require
+            # sufficient rather than necessary conditions (Section 4.2).
+            return T.TRUE, x
+
+        if op in ("StartsWith", "EndsWith", "Contains"):
+            phi1, x1 = self.encode(children[0])
+            return T.conjoin([T.Cmp(">=", xt, T.Var(x1)), phi1]), x
+
+        if op == "Optional":
+            phi1, x1 = self.encode(children[0])
+            either = T.disjoin([
+                T.Cmp("==", xt, T.Const(0)),
+                T.Cmp("==", xt, T.Var(x1)),
+            ])
+            return T.conjoin([either, phi1]), x
+
+        if op == "KleeneStar":
+            phi1, x1 = self.encode(children[0])
+            either = T.disjoin([
+                T.Cmp("==", xt, T.Const(0)),
+                T.Cmp(">=", xt, T.Var(x1)),
+            ])
+            return T.conjoin([either, phi1]), x
+
+        if op == "Concat":
+            phi1, x1 = self.encode(children[0])
+            phi2, x2 = self.encode(children[1])
+            total = T.Cmp("==", xt, T.Add((T.Var(x1), T.Var(x2))))
+            return T.conjoin([total, phi1, phi2]), x
+
+        if op == "Or":
+            phi1, x1 = self.encode(children[0])
+            phi2, x2 = self.encode(children[1])
+            either = T.disjoin([
+                T.Cmp("==", xt, T.Var(x1)),
+                T.Cmp("==", xt, T.Var(x2)),
+            ])
+            return T.conjoin([either, phi1, phi2]), x
+
+        if op == "And":
+            phi1, x1 = self.encode(children[0])
+            phi2, x2 = self.encode(children[1])
+            both = T.conjoin([
+                T.Cmp("==", xt, T.Var(x1)),
+                T.Cmp("==", xt, T.Var(x2)),
+            ])
+            return T.conjoin([both, phi1, phi2]), x
+
+        if op == "Repeat":
+            phi1, x1 = self.encode(children[0])
+            phi1_hi, x1_hi = self.encode(children[0])
+            k_term, k_bounds = self._int_term(ints[0])
+            lower = T.Cmp(">=", xt, T.Mul((T.Var(x1), k_term)))
+            upper = T.Cmp("<=", xt, T.Mul((T.Var(x1_hi), k_term)))
+            return T.conjoin([lower, upper, phi1, phi1_hi, k_bounds]), x
+
+        if op == "RepeatAtLeast":
+            phi1, x1 = self.encode(children[0])
+            k_term, k_bounds = self._int_term(ints[0])
+            lower = T.Cmp(">=", xt, T.Mul((T.Var(x1), k_term)))
+            return T.conjoin([lower, phi1, k_bounds]), x
+
+        if op == "RepeatRange":
+            phi1, x1 = self.encode(children[0])
+            phi1_hi, x1_hi = self.encode(children[0])
+            k1_term, k1_bounds = self._int_term(ints[0])
+            k2_term, k2_bounds = self._int_term(ints[1])
+            lower = T.Cmp(">=", xt, T.Mul((T.Var(x1), k1_term)))
+            upper = T.Cmp("<=", xt, T.Mul((T.Var(x1_hi), k2_term)))
+            ordered = T.Cmp("<=", k1_term, k2_term)
+            return T.conjoin([lower, upper, ordered, phi1, phi1_hi, k1_bounds, k2_bounds]), x
+
+        raise ValueError(f"unknown operator {op!r}")
+
+
+def encode_partial(
+    partial: PartialRegex, max_kappa: int = 20, prefix: str = ""
+) -> Tuple[T.Formula, str, set[str]]:
+    """Encode one symbolic regex; returns ``(φ, x0, kappa_names)``."""
+    encoder = _Encoder(prefix, max_kappa)
+    formula, root = encoder.encode(partial)
+    return formula, root, encoder.kappa_names
+
+
+def constraint_for_examples(
+    partial: PartialRegex,
+    examples: Examples,
+    config: SynthesisConfig,
+) -> Tuple[T.Formula, Dict[str, Tuple[int, int]], set[str]]:
+    """The constraint ``ψ0`` of Figure 14 (line 2).
+
+    The encoding is instantiated once per positive example with fresh
+    temporary length variables (the symbolic integers ``κ`` are shared), and
+    the root length variable of each copy is pinned to the example's length.
+    """
+    parts: list[T.Formula] = []
+    domains: Dict[str, Tuple[int, int]] = {}
+    kappas: set[str] = set()
+    max_len = max(examples.max_positive_length(), 1)
+    for index, example in enumerate(examples.positive):
+        formula, root, kappa_names = encode_partial(
+            partial, config.max_kappa, prefix=f"e{index}_"
+        )
+        parts.append(T.conjoin([formula, T.Cmp("==", T.Var(root), T.Const(len(example)))]))
+        kappas |= kappa_names
+        for name in T.var_names(formula) | {root}:
+            if name not in kappa_names:
+                domains[name] = (0, max(max_len, len(example)))
+    for name in kappas:
+        domains[name] = (1, config.max_kappa)
+    return T.conjoin(parts), domains, kappas

@@ -1,0 +1,201 @@
+"""The sketch-guided synthesis loop (Figure 9 of the paper).
+
+:class:`Synthesizer` maintains a worklist of partial regexes, prioritised by
+size, and processes each according to its kind:
+
+* **concrete** regexes are checked against the examples and returned when
+  consistent,
+* **symbolic** regexes (no open nodes, but unknown integer constants) are
+  handed to :func:`repro.synthesis.infer_constants.infer_constants`,
+* otherwise one open node is selected and expanded with
+  :func:`repro.synthesis.expand.expand`, and infeasible expansions are pruned
+  with the approximation check of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from itertools import count
+from typing import List, Optional
+
+from repro.dsl import ast as rast
+from repro.dsl.simplify import simplify
+from repro.sketch import ast as sast
+from repro.solver import Solver
+from repro.synthesis.approximate import infeasible
+from repro.synthesis.config import EngineVariant, SynthesisConfig
+from repro.synthesis.examples import Examples
+from repro.synthesis.expand import SymIntFactory, expand, initial_partial
+from repro.synthesis.infer_constants import infer_constants
+from repro.synthesis.partial import (
+    PartialRegex,
+    is_concrete,
+    is_symbolic,
+    open_nodes,
+    partial_size,
+    to_debug_string,
+    to_regex,
+)
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run."""
+
+    #: Consistent regexes found, best (smallest) first.
+    regexes: List[rast.Regex] = field(default_factory=list)
+    #: Whether the engine stopped because of the time budget.
+    timed_out: bool = False
+    #: Number of partial regexes taken off the worklist.
+    expansions: int = 0
+    #: Number of candidates discarded by the approximation check.
+    pruned: int = 0
+    #: Wall-clock time spent, in seconds.
+    elapsed: float = 0.0
+
+    @property
+    def solved(self) -> bool:
+        return bool(self.regexes)
+
+    @property
+    def best(self) -> Optional[rast.Regex]:
+        return self.regexes[0] if self.regexes else None
+
+
+class Synthesizer:
+    """Sketch-guided PBE engine (one instance per synthesis problem)."""
+
+    def __init__(self, config: Optional[SynthesisConfig] = None):
+        self.config = config or SynthesisConfig()
+        self.solver = Solver()
+
+    # -- public API ----------------------------------------------------------
+
+    def synthesize(self, sketch: sast.Sketch, examples: Examples) -> SynthesisResult:
+        """Search for regexes that complete ``sketch`` and satisfy ``examples``."""
+        config = self.config
+        result = SynthesisResult()
+        start = time.monotonic()
+        deadline = start + config.timeout
+        literal_chars = examples.literal_characters() + config.extra_literals
+        symints = SymIntFactory()
+
+        counter = count()
+        worklist: list[tuple[int, int, PartialRegex]] = []
+
+        def push(partial: PartialRegex) -> None:
+            heapq.heappush(worklist, (partial_size(partial), next(counter), partial))
+
+        push(initial_partial(sketch))
+        seen: set[str] = set()
+        rejected_membership: set[str] = set()
+
+        while worklist:
+            if time.monotonic() > deadline or result.expansions >= config.max_expansions:
+                result.timed_out = True
+                break
+            _, _, partial = heapq.heappop(worklist)
+            result.expansions += 1
+
+            if is_concrete(partial):
+                regex = to_regex(partial)
+                if self._consistent(regex, examples, rejected_membership):
+                    result.regexes.append(simplify(regex))
+                    if len(result.regexes) >= config.max_results:
+                        break
+                continue
+
+            if is_symbolic(partial):
+                if config.use_symbolic_ints:
+                    for candidate in infer_constants(partial, examples, config, self.solver):
+                        push(candidate)
+                # Without symbolic integers the expansion already enumerated
+                # concrete constants, so a symbolic partial regex cannot occur.
+                continue
+
+            node = open_nodes(partial)[0]
+            for successor in expand(partial, node, config, symints, literal_chars):
+                key = to_debug_string(successor)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if infeasible(successor, examples, config):
+                    result.pruned += 1
+                    continue
+                push(successor)
+
+        result.elapsed = time.monotonic() - start
+        # Prefer smaller regexes among those found.
+        result.regexes.sort(key=lambda regex: _regex_rank(regex))
+        return result
+
+    # -- helpers -------------------------------------------------------------
+
+    def _consistent(
+        self, regex: rast.Regex, examples: Examples, rejected: set[str]
+    ) -> bool:
+        """Membership check with the subsumption short-cuts of Section 6."""
+        config = self.config
+        if config.use_subsumption:
+            for key in _subsumption_keys(regex):
+                if key in rejected:
+                    return False
+        if examples.consistent(regex):
+            return True
+        if config.use_subsumption and not examples.accepts_all_positive(regex):
+            # Record the rejection under the regex's own key only; the
+            # *checking* side consults the keys of more general regexes whose
+            # rejection implies this one (see _subsumption_keys).
+            from repro.dsl.printer import to_dsl_string
+
+            rejected.add(to_dsl_string(regex))
+        return False
+
+
+def _regex_rank(regex: rast.Regex) -> tuple[int, str]:
+    from repro.dsl.simplify import size
+    from repro.dsl.printer import to_dsl_string
+
+    return size(regex), to_dsl_string(regex)
+
+
+def _subsumption_keys(regex: rast.Regex) -> list[str]:
+    """Keys of regexes whose positive-example rejection implies this one's.
+
+    Section 6 ("Eliminating membership queries"): if ``Contains(r)`` rejects a
+    positive example then so do ``StartsWith(r)`` and ``EndsWith(r)``; if
+    ``RepeatAtLeast(r, k)`` rejects a positive example then so does
+    ``RepeatAtLeast(r, k')`` for every ``k' >= k``.  Rejections are recorded
+    under the failing regex's own key; these are the keys consulted before a
+    new membership query is issued.
+    """
+    from repro.dsl.printer import to_dsl_string
+
+    keys = [to_dsl_string(regex)]
+    if isinstance(regex, (rast.StartsWith, rast.EndsWith)):
+        keys.append(to_dsl_string(rast.Contains(regex.arg)))
+    if isinstance(regex, rast.RepeatAtLeast):
+        keys.extend(
+            to_dsl_string(rast.RepeatAtLeast(regex.arg, smaller))
+            for smaller in range(1, regex.count)
+        )
+    return keys
+
+
+def synthesize(
+    sketch: sast.Sketch,
+    positive: list[str],
+    negative: list[str],
+    config: Optional[SynthesisConfig] = None,
+    variant: EngineVariant = EngineVariant.FULL,
+) -> SynthesisResult:
+    """Convenience one-shot synthesis entry point.
+
+    ``variant`` selects between the full engine and the ablation variants
+    (Regel-Approx / Regel-Enum) used in Figure 18.
+    """
+    config = (config or SynthesisConfig()).for_variant(variant)
+    engine = Synthesizer(config)
+    return engine.synthesize(sketch, Examples(positive, negative))

@@ -1,0 +1,79 @@
+"""Positive/negative example sets and cached membership checking."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.dsl import ast
+from repro.dsl.semantics import Matcher
+
+
+class Examples:
+    """A set of positive and negative string examples.
+
+    Membership checks reuse one :class:`~repro.dsl.semantics.Matcher` per
+    example string, so evaluating thousands of candidate regexes against the
+    same examples shares the memoised sub-results.
+    """
+
+    def __init__(self, positive: Iterable[str], negative: Iterable[str]):
+        self.positive: tuple[str, ...] = tuple(positive)
+        self.negative: tuple[str, ...] = tuple(negative)
+        self._matchers: Dict[str, Matcher] = {}
+
+    def __repr__(self) -> str:
+        return f"Examples(positive={list(self.positive)!r}, negative={list(self.negative)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Examples):
+            return NotImplemented
+        return self.positive == other.positive and self.negative == other.negative
+
+    def __hash__(self) -> int:
+        return hash((self.positive, self.negative))
+
+    def matcher(self, text: str) -> Matcher:
+        matcher = self._matchers.get(text)
+        if matcher is None:
+            matcher = Matcher(text)
+            self._matchers[text] = matcher
+        return matcher
+
+    def matches(self, regex: ast.Regex, text: str) -> bool:
+        """Membership of one example string (cached)."""
+        return self.matcher(text).matches(regex)
+
+    def consistent(self, regex: ast.Regex) -> bool:
+        """True iff the regex accepts every positive and rejects every negative example."""
+        return all(self.matches(regex, s) for s in self.positive) and not any(
+            self.matches(regex, s) for s in self.negative
+        )
+
+    def accepts_all_positive(self, regex: ast.Regex) -> bool:
+        return all(self.matches(regex, s) for s in self.positive)
+
+    def rejects_all_negative(self, regex: ast.Regex) -> bool:
+        return not any(self.matches(regex, s) for s in self.negative)
+
+    def extended(
+        self, extra_positive: Sequence[str] = (), extra_negative: Sequence[str] = ()
+    ) -> "Examples":
+        """A new example set with additional examples (iterative protocol of Sec. 8.1)."""
+        return Examples(
+            tuple(dict.fromkeys([*self.positive, *extra_positive])),
+            tuple(dict.fromkeys([*self.negative, *extra_negative])),
+        )
+
+    def literal_characters(self) -> str:
+        """Characters occurring in the positive examples, used as literal leaf candidates."""
+        seen: dict[str, None] = {}
+        for text in self.positive:
+            for char in text:
+                seen.setdefault(char, None)
+        return "".join(seen)
+
+    def max_positive_length(self) -> int:
+        return max((len(s) for s in self.positive), default=0)
+
+    def __len__(self) -> int:
+        return len(self.positive) + len(self.negative)

@@ -1,0 +1,81 @@
+"""Solving for symbolic integers — the ``InferConstants`` procedure (Figure 14).
+
+Given a symbolic regex (no open nodes, at least one symbolic integer), the
+procedure enumerates candidate assignments to the symbolic integers using the
+length-constraint encoding of Figure 13 and the bounded-integer solver, and
+keeps only assignments whose (partially concretised) regexes survive the
+approximation-based feasibility check.  The returned concrete regexes still
+have to be validated against the examples by the main loop — the constraint is
+an over-approximation, not a proof of consistency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.solver import Solver, terms as T
+from repro.synthesis.approximate import infeasible
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.encode import constraint_for_examples
+from repro.synthesis.examples import Examples
+from repro.synthesis.partial import (
+    PartialRegex,
+    is_concrete,
+    substitute_symint,
+    symints_of,
+)
+
+
+def infer_constants(
+    partial: PartialRegex,
+    examples: Examples,
+    config: SynthesisConfig,
+    solver: Solver | None = None,
+) -> List[PartialRegex]:
+    """Enumerate feasible concretisations of a symbolic regex.
+
+    Mirrors Figure 14: a worklist of ``(symbolic regex, constraint)`` pairs is
+    made increasingly concrete one symbolic integer at a time; blocking
+    clauses force the solver to produce different values for the chosen
+    integer, and partially concretised regexes that the approximation check
+    refutes are dropped together with every extension.
+    """
+    solver = solver or Solver()
+    formula, domains, _ = constraint_for_examples(partial, examples, config)
+    results: List[PartialRegex] = []
+    worklist: List[tuple[PartialRegex, T.Formula]] = [(partial, formula)]
+    budget = config.max_models_per_symbolic
+
+    while worklist and budget > 0:
+        current, constraint = worklist.pop()
+        kappas = symints_of(current)
+        if not kappas:
+            continue
+        prefer = [kappa.name for kappa in kappas]
+        try:
+            model = solver.solve(constraint, domains, prefer=prefer)
+        except RuntimeError:
+            # Step budget exceeded: treat as UNSAT for this branch.
+            continue
+        if model is None:
+            continue
+        budget -= 1
+        kappa = kappas[0]
+        value = model[kappa.name]
+        concretised = substitute_symint(current, kappa.name, value)
+
+        # Keep exploring other values of this symbolic integer (blocking clause).
+        blocked = T.conjoin(
+            [constraint, T.NotF(T.Cmp("==", T.Var(kappa.name), T.Const(value)))]
+        )
+        worklist.append((current, blocked))
+
+        if is_concrete(concretised):
+            results.append(concretised)
+            continue
+        if not infeasible(concretised, examples, config):
+            pinned = T.conjoin(
+                [constraint, T.Cmp("==", T.Var(kappa.name), T.Const(value))]
+            )
+            worklist.append((concretised, pinned))
+    return results

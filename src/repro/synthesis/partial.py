@@ -1,0 +1,225 @@
+"""Partial regexes — the search states of the PBE engine (Definition 4.1).
+
+A partial regex is a tree whose nodes are labelled with
+
+* a DSL operator applied to child partial regexes (:class:`POp`), whose
+  integer arguments may be concrete integers or symbolic integers
+  (:class:`SymInt`),
+* a concrete regex (:class:`PLeaf`), or
+* an *open node* (:class:`POpen`) labelled with an h-sketch or with one of the
+  two internal hole labels produced by expansion (:class:`HoleLabel` for
+  constrained holes, :class:`FreeLabel` for the ``□^{d-1}(C ∪ {S..})``
+  sibling positions of Figure 10, rule 2).
+
+Following the paper, a partial regex is *concrete* when every label is a DSL
+construct with concrete integers, and *symbolic* when it has no open nodes but
+still contains symbolic integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.dsl import ast as rast
+from repro.sketch import ast as sast
+
+
+@dataclass(frozen=True)
+class SymInt:
+    """A symbolic integer ``κ`` standing for an unknown positive constant."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class HoleLabel:
+    """A constrained hole ``□^depth{components}`` awaiting expansion."""
+
+    components: tuple[sast.Sketch, ...]
+    depth: int
+
+
+@dataclass(frozen=True)
+class FreeLabel:
+    """An unconstrained sibling position: ``□^depth(C ∪ components)``."""
+
+    components: tuple[sast.Sketch, ...]
+    depth: int
+
+
+Label = Union[sast.Sketch, HoleLabel, FreeLabel]
+
+
+class PartialRegex:
+    """Base class of partial-regex nodes."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return to_debug_string(self)
+
+
+@dataclass(frozen=True, repr=False)
+class PLeaf(PartialRegex):
+    """A concrete regex leaf (may itself be a composite regex)."""
+
+    regex: rast.Regex
+
+
+@dataclass(frozen=True, repr=False)
+class POpen(PartialRegex):
+    """An open node labelled with an h-sketch or hole label."""
+
+    label: Label
+
+
+@dataclass(frozen=True, repr=False)
+class POp(PartialRegex):
+    """A DSL operator applied to child partial regexes."""
+
+    op: str
+    children: tuple[PartialRegex, ...]
+    ints: tuple[Union[int, SymInt], ...] = ()
+
+    def __init__(self, op, children, ints=()):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "ints", tuple(ints))
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+def walk(partial: PartialRegex) -> Iterator[PartialRegex]:
+    """Pre-order traversal of a partial regex."""
+    yield partial
+    if isinstance(partial, POp):
+        for child in partial.children:
+            yield from walk(child)
+
+
+def open_nodes(partial: PartialRegex) -> list[POpen]:
+    """All open nodes in left-to-right order."""
+    return [node for node in walk(partial) if isinstance(node, POpen)]
+
+
+def symints_of(partial: PartialRegex) -> list[SymInt]:
+    """All symbolic integers in left-to-right order (without duplicates)."""
+    seen: dict[str, SymInt] = {}
+    for node in walk(partial):
+        if isinstance(node, POp):
+            for value in node.ints:
+                if isinstance(value, SymInt) and value.name not in seen:
+                    seen[value.name] = value
+    return list(seen.values())
+
+
+def is_concrete(partial: PartialRegex) -> bool:
+    """No open nodes and no symbolic integers."""
+    return not open_nodes(partial) and not symints_of(partial)
+
+
+def is_symbolic(partial: PartialRegex) -> bool:
+    """No open nodes, but at least one symbolic integer."""
+    return not open_nodes(partial) and bool(symints_of(partial))
+
+
+def partial_size(partial: PartialRegex) -> int:
+    """Number of nodes (used by the search priority)."""
+    from repro.dsl.simplify import size as regex_size
+
+    if isinstance(partial, PLeaf):
+        return regex_size(partial.regex)
+    if isinstance(partial, POpen):
+        return 1
+    if isinstance(partial, POp):
+        return 1 + sum(partial_size(child) for child in partial.children)
+    raise TypeError(f"unknown partial regex node: {partial!r}")
+
+
+# ---------------------------------------------------------------------------
+# Conversions
+# ---------------------------------------------------------------------------
+
+_UNARY = dict(sast.UNARY_SKETCH_OPS)
+_BINARY = dict(sast.BINARY_SKETCH_OPS)
+_INT_OPS = {name: ctor for name, (ctor, _) in sast.INT_SKETCH_OPS.items()}
+
+
+def to_regex(partial: PartialRegex) -> rast.Regex:
+    """Convert a concrete partial regex into a DSL regex.
+
+    Raises ``ValueError`` if the partial regex still has open nodes or
+    symbolic integers.
+    """
+    if isinstance(partial, PLeaf):
+        return partial.regex
+    if isinstance(partial, POpen):
+        raise ValueError("partial regex still has open nodes")
+    if isinstance(partial, POp):
+        children = [to_regex(child) for child in partial.children]
+        ints = []
+        for value in partial.ints:
+            if isinstance(value, SymInt):
+                raise ValueError("partial regex still has symbolic integers")
+            ints.append(value)
+        ctor = _UNARY.get(partial.op) or _BINARY.get(partial.op) or _INT_OPS.get(partial.op)
+        if ctor is None:
+            raise ValueError(f"unknown operator {partial.op!r}")
+        return ctor(*children, *ints)
+    raise TypeError(f"unknown partial regex node: {partial!r}")
+
+
+def substitute_symint(partial: PartialRegex, name: str, value: int) -> PartialRegex:
+    """Replace one symbolic integer with a concrete value everywhere."""
+    if isinstance(partial, (PLeaf, POpen)):
+        return partial
+    if isinstance(partial, POp):
+        new_children = tuple(substitute_symint(child, name, value) for child in partial.children)
+        new_ints = tuple(
+            value if isinstance(i, SymInt) and i.name == name else i for i in partial.ints
+        )
+        if new_children == partial.children and new_ints == partial.ints:
+            return partial
+        return POp(partial.op, new_children, new_ints)
+    raise TypeError(f"unknown partial regex node: {partial!r}")
+
+
+def replace_node(partial: PartialRegex, target: POpen, replacement: PartialRegex) -> PartialRegex:
+    """Replace one specific open node (by identity) with a new subtree."""
+    if partial is target:
+        return replacement
+    if isinstance(partial, POp):
+        changed = False
+        new_children = []
+        for child in partial.children:
+            new_child = replace_node(child, target, replacement)
+            changed = changed or new_child is not child
+            new_children.append(new_child)
+        if changed:
+            return POp(partial.op, tuple(new_children), partial.ints)
+    return partial
+
+
+def to_debug_string(partial: PartialRegex) -> str:
+    """Readable rendering of a partial regex (used in logs and __repr__)."""
+    from repro.dsl.printer import to_dsl_string
+    from repro.sketch.printer import sketch_to_string
+
+    if isinstance(partial, PLeaf):
+        return to_dsl_string(partial.regex)
+    if isinstance(partial, POpen):
+        label = partial.label
+        if isinstance(label, HoleLabel):
+            inner = ",".join(sketch_to_string(c) for c in label.components)
+            return f"Hole[{label.depth}]{{{inner}}}"
+        if isinstance(label, FreeLabel):
+            return f"Free[{label.depth}]"
+        return f"Open[{sketch_to_string(label)}]"
+    if isinstance(partial, POp):
+        parts = [to_debug_string(child) for child in partial.children]
+        parts.extend(v.name if isinstance(v, SymInt) else str(v) for v in partial.ints)
+        return f"{partial.op}({','.join(parts)})"
+    raise TypeError(f"unknown partial regex node: {partial!r}")

@@ -1,0 +1,72 @@
+"""Smoke tests for packaging metadata, public API surface, and documentation files."""
+
+import pathlib
+
+import repro
+
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        from repro import Regel, SemanticParser, SynthesisConfig, synthesize
+
+        assert callable(synthesize)
+        assert Regel and SemanticParser and SynthesisConfig
+
+    def test_subpackages_importable(self):
+        import repro.automata
+        import repro.baselines
+        import repro.datasets
+        import repro.dsl
+        import repro.experiments
+        import repro.multimodal
+        import repro.nlp
+        import repro.sketch
+        import repro.solver
+        import repro.synthesis
+
+        assert repro.dsl.NUM is not None
+
+    def test_all_lists_resolve(self):
+        import repro.dsl as dsl
+        import repro.synthesis as synthesis
+
+        for module in (dsl, synthesis):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+class TestDocumentation:
+    def test_required_documents_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"):
+            assert (ROOT / name).is_file(), name
+
+    def test_design_doc_covers_every_figure(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for artefact in ("Fig. 16", "Fig. 17", "Fig. 18", "user study"):
+            assert artefact in text
+
+    def test_examples_present(self):
+        examples = list((ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        assert any(path.name == "quickstart.py" for path in examples)
+
+    def test_benchmarks_cover_every_figure(self):
+        names = {path.name for path in (ROOT / "benchmarks").glob("bench_*.py")}
+        assert {
+            "bench_figure16.py",
+            "bench_figure17.py",
+            "bench_figure18.py",
+            "bench_user_study.py",
+            "bench_dsl_coverage.py",
+            "bench_dataset_stats.py",
+        } <= names
+
+    def test_cli_entry_point_declared(self):
+        text = (ROOT / "pyproject.toml").read_text()
+        assert 'regel = "repro.cli:main"' in text

@@ -1,0 +1,130 @@
+"""Tests for DSL printing, parsing, round-trips, and Python-regex export."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsl import (
+    ANY,
+    And,
+    Concat,
+    Contains,
+    Epsilon,
+    KleeneStar,
+    LET,
+    NUM,
+    Not,
+    Optional,
+    Or,
+    Repeat,
+    RepeatAtLeast,
+    RepeatRange,
+    RegexParseError,
+    StartsWith,
+    UnsupportedConstructError,
+    literal,
+    matches,
+    parse_regex,
+    to_dsl_string,
+    to_python_regex,
+)
+
+
+class TestPrinter:
+    def test_simple_notation(self):
+        regex = Concat(RepeatRange(NUM, 1, 15), Optional(Concat(literal("."), NUM)))
+        text = to_dsl_string(regex)
+        assert text == "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,<num>)))"
+
+    def test_space_literal_named(self):
+        assert to_dsl_string(literal(" ")) == "<space>"
+
+    def test_epsilon_and_empty(self):
+        assert to_dsl_string(Epsilon()) == "<eps>"
+        assert "null" in to_dsl_string(parse_regex("<null>"))
+
+
+class TestParser:
+    def test_round_trip_simple(self):
+        text = "Or(Repeat(<let>,2),RepeatAtLeast(<num>,3))"
+        assert to_dsl_string(parse_regex(text)) == text
+
+    def test_parse_with_whitespace(self):
+        regex = parse_regex("Concat( <num> , <let> )")
+        assert regex == Concat(NUM, LET)
+
+    def test_parse_named_space(self):
+        assert parse_regex("<space>") == literal(" ")
+
+    def test_parse_angle_literals(self):
+        assert parse_regex("<.>") == literal(".")
+        assert parse_regex("<,>") == literal(",")
+
+    def test_parse_error_unknown_operator(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("Bogus(<num>)")
+
+    def test_parse_error_trailing(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("<num>)")
+
+    def test_parse_error_bad_arity(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("Repeat(<num>)")
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trip and Python-regex agreement
+# ---------------------------------------------------------------------------
+
+_LEAVES = st.sampled_from([NUM, LET, ANY, literal("."), literal("-"), literal("a")])
+
+
+def _regex_strategy():
+    return st.recursive(
+        _LEAVES,
+        lambda children: st.one_of(
+            st.builds(Optional, children),
+            st.builds(KleeneStar, children),
+            st.builds(Not, children),
+            st.builds(Contains, children),
+            st.builds(StartsWith, children),
+            st.builds(Concat, children, children),
+            st.builds(Or, children, children),
+            st.builds(And, children, children),
+            st.builds(Repeat, children, st.integers(1, 3)),
+            st.builds(RepeatAtLeast, children, st.integers(1, 2)),
+            st.builds(RepeatRange, children, st.integers(1, 2), st.integers(2, 4)),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestRoundTripProperties:
+    @given(_regex_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_print_parse_round_trip(self, regex):
+        assert parse_regex(to_dsl_string(regex)) == regex
+
+
+class TestPythonRegexExport:
+    def test_not_and_unsupported(self):
+        with pytest.raises(UnsupportedConstructError):
+            to_python_regex(Not(NUM))
+        with pytest.raises(UnsupportedConstructError):
+            to_python_regex(And(NUM, ANY))
+
+    @given(
+        _regex_strategy().filter(
+            lambda r: not any(isinstance(n, (Not, And)) for n in r.walk())
+        ),
+        st.text(alphabet="ab1.-", max_size=6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_dsl_semantics(self, regex, subject):
+        """re.fullmatch on the exported pattern agrees with the DSL matcher."""
+        pattern = to_python_regex(regex)
+        expected = matches(regex, subject)
+        got = re.fullmatch(pattern, subject, flags=re.DOTALL) is not None
+        assert got == expected

@@ -1,0 +1,202 @@
+"""Tests for the exact matching semantics of the DSL (Figure 6)."""
+
+import pytest
+
+from repro.dsl import (
+    ALPHANUM,
+    ANY,
+    And,
+    CAP,
+    Concat,
+    Contains,
+    EmptySet,
+    EndsWith,
+    Epsilon,
+    HEX,
+    KleeneStar,
+    LET,
+    LOW,
+    Matcher,
+    NUM,
+    Not,
+    Optional,
+    Or,
+    Repeat,
+    RepeatAtLeast,
+    RepeatRange,
+    StartsWith,
+    VOW,
+    literal,
+    matches,
+)
+from repro.dsl.ast import string_literal
+
+
+class TestCharClasses:
+    @pytest.mark.parametrize(
+        "regex,good,bad",
+        [
+            (NUM, "7", "a"),
+            (LET, "k", "5"),
+            (CAP, "Q", "q"),
+            (LOW, "q", "Q"),
+            (ANY, "%", ""),
+            (ALPHANUM, "z", "-"),
+            (HEX, "f", "g"),
+            (VOW, "e", "t"),
+        ],
+    )
+    def test_single_character_classes(self, regex, good, bad):
+        assert matches(regex, good)
+        assert not matches(regex, bad)
+
+    def test_char_class_rejects_longer_strings(self):
+        assert not matches(NUM, "12")
+
+    def test_literal(self):
+        assert matches(literal("."), ".")
+        assert not matches(literal("."), ",")
+
+
+class TestBasicOperators:
+    def test_epsilon(self):
+        assert matches(Epsilon(), "")
+        assert not matches(Epsilon(), "a")
+
+    def test_empty_set(self):
+        assert not matches(EmptySet(), "")
+        assert not matches(EmptySet(), "a")
+
+    def test_concat(self):
+        regex = Concat(NUM, LET)
+        assert matches(regex, "1a")
+        assert not matches(regex, "a1")
+        assert not matches(regex, "1")
+
+    def test_concat_with_optional_part(self):
+        regex = Concat(NUM, Optional(LET))
+        assert matches(regex, "1")
+        assert matches(regex, "1a")
+
+    def test_or(self):
+        regex = Or(NUM, LET)
+        assert matches(regex, "3")
+        assert matches(regex, "x")
+        assert not matches(regex, "-")
+
+    def test_and(self):
+        regex = And(RepeatAtLeast(ALPHANUM, 1), Contains(NUM))
+        assert matches(regex, "ab1")
+        assert not matches(regex, "abc")
+
+    def test_not(self):
+        regex = Not(NUM)
+        assert matches(regex, "a")
+        assert matches(regex, "12")
+        assert not matches(regex, "5")
+
+    def test_optional(self):
+        regex = Optional(NUM)
+        assert matches(regex, "")
+        assert matches(regex, "3")
+        assert not matches(regex, "33")
+
+    def test_kleene_star(self):
+        regex = KleeneStar(NUM)
+        assert matches(regex, "")
+        assert matches(regex, "1")
+        assert matches(regex, "12345")
+        assert not matches(regex, "12a45")
+
+    def test_kleene_star_of_composite(self):
+        regex = KleeneStar(Concat(LET, NUM))
+        assert matches(regex, "")
+        assert matches(regex, "a1b2")
+        assert not matches(regex, "a1b")
+
+
+class TestContainment:
+    def test_starts_with(self):
+        regex = StartsWith(string_literal("ab"))
+        assert matches(regex, "ab")
+        assert matches(regex, "abc")
+        assert not matches(regex, "cab")
+
+    def test_ends_with(self):
+        regex = EndsWith(NUM)
+        assert matches(regex, "a1")
+        assert matches(regex, "1")
+        assert not matches(regex, "1a")
+
+    def test_contains(self):
+        regex = Contains(string_literal("cat"))
+        assert matches(regex, "cat")
+        assert matches(regex, "a cat!")
+        assert not matches(regex, "ca t")
+
+    def test_not_contains(self):
+        regex = Not(Contains(literal("@")))
+        assert matches(regex, "plain")
+        assert not matches(regex, "a@b")
+
+
+class TestRepetition:
+    def test_repeat_exact(self):
+        regex = Repeat(NUM, 3)
+        assert matches(regex, "123")
+        assert not matches(regex, "12")
+        assert not matches(regex, "1234")
+
+    def test_repeat_of_composite(self):
+        regex = Repeat(Concat(LET, NUM), 2)
+        assert matches(regex, "a1b2")
+        assert not matches(regex, "a1b")
+
+    def test_repeat_at_least(self):
+        regex = RepeatAtLeast(NUM, 2)
+        assert not matches(regex, "1")
+        assert matches(regex, "12")
+        assert matches(regex, "123456")
+
+    def test_repeat_range(self):
+        regex = RepeatRange(NUM, 2, 4)
+        assert not matches(regex, "1")
+        assert matches(regex, "12")
+        assert matches(regex, "1234")
+        assert not matches(regex, "12345")
+
+
+class TestMotivatingExample:
+    """The decimal(18,3) regex from Section 2 of the paper."""
+
+    regex = Concat(
+        RepeatRange(NUM, 1, 15),
+        Optional(Concat(literal("."), RepeatRange(NUM, 1, 3))),
+    )
+
+    @pytest.mark.parametrize(
+        "example",
+        ["123456789.123", "123456789123456.12", "12345.1", "123456789123456"],
+    )
+    def test_positive_examples(self, example):
+        assert matches(self.regex, example)
+
+    @pytest.mark.parametrize(
+        "example",
+        ["1234567891234567", "123.1234", "1.12345", ".1234"],
+    )
+    def test_negative_examples(self, example):
+        assert not matches(self.regex, example)
+
+
+class TestMatcherReuse:
+    def test_matcher_answers_many_regexes(self):
+        matcher = Matcher("ab12")
+        assert matcher.matches(RepeatAtLeast(ALPHANUM, 1))
+        assert not matcher.matches(RepeatAtLeast(NUM, 1))
+        assert matcher.matches(Concat(Repeat(LET, 2), Repeat(NUM, 2)))
+
+    def test_matcher_empty_subject(self):
+        matcher = Matcher("")
+        assert matcher.matches(KleeneStar(ANY))
+        assert not matcher.matches(ANY)

@@ -1,0 +1,157 @@
+"""Tests for the experiment harness (scaled-down runs of every figure)."""
+
+import pytest
+
+from repro.datasets import stackoverflow_dataset
+from repro.experiments import (
+    ToolName,
+    dataset_statistics,
+    dsl_coverage,
+    figure16,
+    figure17,
+    figure18,
+    format_table,
+    user_study,
+)
+from repro.experiments.ablation import statistics_table
+from repro.experiments.metrics import average_time_per_solved, solved_by_iteration
+from repro.experiments.runner import BenchmarkRun
+from repro.multimodal.interaction import InteractiveSession, IterationOutcome
+from repro.synthesis import SynthesisConfig
+
+
+def _run(tool, benchmark_id, solved_at, elapsed=0.5):
+    outcomes = []
+    for i in range((solved_at if solved_at is not None else 4) + 1):
+        outcomes.append(
+            IterationOutcome(
+                iteration=i,
+                solved=(solved_at is not None and i == solved_at),
+                elapsed=elapsed,
+                num_positive=2,
+                num_negative=2,
+                returned=1,
+            )
+        )
+    return BenchmarkRun(tool, benchmark_id, InteractiveSession(benchmark_id, outcomes))
+
+
+class TestMetrics:
+    def test_solved_by_iteration_cumulative(self):
+        runs = [
+            _run(ToolName.REGEL, "a", 0),
+            _run(ToolName.REGEL, "b", 2),
+            _run(ToolName.REGEL, "c", None),
+        ]
+        assert solved_by_iteration(runs) == [1, 1, 2, 2, 2]
+
+    def test_average_time_per_solved(self):
+        runs = [_run(ToolName.REGEL, "a", 0, elapsed=1.0), _run(ToolName.REGEL, "b", 1, elapsed=3.0)]
+        averages = average_time_per_solved(runs)
+        assert averages[0] == pytest.approx(1.0)
+        assert averages[1] == pytest.approx(2.0)
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5]], title="T")
+        assert "T" in text and "2.50" in text
+
+
+class TestStructuralAnalyses:
+    def test_dsl_coverage_matches_paper_shape(self):
+        coverage = dsl_coverage()
+        assert coverage.total == 62
+        # Footnote 9: FlashFill covers almost nothing, Fidex a bit more, and
+        # both cover far less than half of the corpus.
+        assert coverage.flashfill <= coverage.fidex
+        assert coverage.fidex < coverage.total / 2
+        assert "FlashFill" in coverage.table()
+
+    def test_dataset_statistics_shape(self):
+        stats = dataset_statistics(deepregex_count=20)
+        assert stats["stackoverflow"].avg_words > stats["deepregex"].avg_words
+        assert stats["stackoverflow"].avg_regex_size > stats["deepregex"].avg_regex_size
+        assert "Dataset statistics" in statistics_table(stats)
+
+
+@pytest.fixture(scope="module")
+def small_benchmarks():
+    return stackoverflow_dataset()[:4]
+
+
+class TestFigure16And17:
+    @pytest.fixture(scope="class")
+    def result(self, small_benchmarks):
+        return figure16(
+            dataset="stackoverflow",
+            benchmarks=small_benchmarks,
+            time_budget=2.0,
+            max_iterations=1,
+            num_sketches=8,
+            config=SynthesisConfig(timeout=2.0, hole_depth=2),
+            train_parser=False,
+        )
+
+    def test_all_tools_present(self, result):
+        assert set(result.series) == {"regel", "regel-pbe", "deepregex"}
+        assert result.total == 4
+
+    def test_counts_monotone_and_bounded(self, result):
+        for counts in result.series.values():
+            assert all(0 <= c <= result.total for c in counts)
+            assert counts == sorted(counts)
+
+    def test_multimodal_beats_or_ties_baselines(self, result):
+        final = {tool: counts[-1] for tool, counts in result.series.items()}
+        assert final["regel"] >= final["regel-pbe"]
+        assert final["regel"] >= final["deepregex"]
+
+    def test_table_rendering(self, result):
+        assert "Figure 16" in result.table(max_iterations=1)
+
+    def test_figure17_reuses_runs(self, result):
+        fig17 = figure17(from_figure16=result, max_iterations=1)
+        assert "regel" in fig17.series
+        assert "deepregex" not in fig17.series
+        assert "Figure 17" in fig17.table(max_iterations=1)
+
+
+class TestFigure18:
+    def test_ablation_shape(self, small_benchmarks):
+        result = figure18(
+            benchmarks=small_benchmarks[:2],
+            sketches_per_benchmark=4,
+            per_sketch_timeout=0.5,
+        )
+        counts = result.solved_counts()
+        assert set(counts) == {"regel-enum", "regel-approx", "regel"}
+        assert result.total_sketches > 0
+        for variant, times in result.solve_times.items():
+            assert len(times) <= result.total_sketches
+        # The full engine should solve at least as many sketches as the
+        # enumeration baseline on this (small) pool.
+        assert counts["regel"] >= counts["regel-enum"]
+        assert "Figure 18" in result.table()
+        curve = result.cumulative_curve("regel")
+        assert all(b >= a for (_, a), (_, b) in zip(curve, curve[1:]))
+
+
+class TestUserStudy:
+    def test_simulated_study_shape(self, small_benchmarks):
+        result = user_study(
+            participants=8,
+            tasks_per_participant=4,
+            benchmarks=small_benchmarks,
+            time_budget=1.5,
+            config=SynthesisConfig(timeout=1.5, hole_depth=2),
+        )
+        assert 0.0 <= result.without_tool_rate <= 1.0
+        assert 0.0 <= result.with_tool_rate <= 1.0
+        assert result.with_tool_rate >= result.without_tool_rate
+        assert "t-test" in result.table()
+
+    def test_without_tool_runs(self):
+        result = user_study(
+            participants=6, tasks_per_participant=4, use_tool_runs=False,
+            benchmarks=stackoverflow_dataset(with_examples=False)[:6],
+        )
+        assert len(result.per_participant_with) == 6

@@ -1,0 +1,165 @@
+"""Integration tests: the end-to-end Regel tool, baselines, and the interactive protocol."""
+
+import pytest
+
+from repro.baselines import DeepRegexBaseline, RegelPbe
+from repro.datasets import Benchmark, stackoverflow_dataset
+from repro.dsl import matches
+from repro.multimodal import Regel, run_interactive
+from repro.multimodal.regel import pbe_only_sketches
+from repro.sketch import Hole
+from repro.synthesis import SynthesisConfig
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return SynthesisConfig(timeout=6.0, hole_depth=2)
+
+
+class TestRegelEndToEnd:
+    def test_simple_description_and_examples(self, fast_config):
+        tool = Regel(config=fast_config, num_sketches=10)
+        result = tool.synthesize(
+            "2 letters followed by 3 digits",
+            positive=["ab123", "xy987"],
+            negative=["ab12", "a123", "12345"],
+            k=1,
+            time_budget=8.0,
+        )
+        assert result.solved
+        regex = result.best
+        assert matches(regex, "qq000")
+        assert not matches(regex, "qq00")
+
+    def test_returns_at_most_k(self, fast_config):
+        tool = Regel(config=fast_config, num_sketches=10)
+        result = tool.synthesize(
+            "3 digits",
+            positive=["123", "456"],
+            negative=["12", "1234"],
+            k=3,
+            time_budget=8.0,
+        )
+        assert 1 <= len(result.regexes) <= 3
+        assert all(matches(r, "789") for r in result.regexes)
+
+    def test_examples_disambiguate_misleading_text(self, fast_config):
+        """The NL says 'comma' but the examples use a period (Section 2 situation)."""
+        tool = Regel(config=fast_config, num_sketches=15)
+        result = tool.synthesize(
+            "numbers then a comma then at max 3 numbers",
+            positive=["12.5", "1.25", "123.1"],
+            negative=["12,5", "1.2345"],
+            k=1,
+            time_budget=8.0,
+        )
+        assert result.solved
+        assert matches(result.best, "99.1")
+        assert not matches(result.best, "99,1")
+
+    def test_budget_limits_sketches_tried(self, fast_config):
+        tool = Regel(config=fast_config, num_sketches=25)
+        result = tool.synthesize(
+            "letters and digits and dashes mixed somehow",
+            positive=["a-1"],
+            negative=["###"],
+            k=1,
+            time_budget=0.05,
+        )
+        assert result.elapsed < 5.0
+
+
+class TestBaselines:
+    def test_pbe_only_uses_unconstrained_hole(self):
+        assert pbe_only_sketches() == [Hole(())]
+
+    def test_pbe_only_solves_simple_task(self, fast_config):
+        pbe = RegelPbe(config=fast_config)
+        result = pbe.solve(["123", "456"], ["12", "abcd"], k=1, time_budget=8.0)
+        assert result.solved
+        assert matches(result.best, "999")
+
+    def test_deepregex_ignores_examples(self):
+        baseline = DeepRegexBaseline()
+        with_examples = baseline.solve("3 digits", ["999"], ["12"])
+        without_examples = baseline.solve("3 digits", [], [])
+        assert with_examples == without_examples
+        assert with_examples, "the stylised description should be translatable"
+
+    def test_deepregex_returns_nothing_for_gibberish(self):
+        baseline = DeepRegexBaseline()
+        assert baseline.solve("zzz qqq www", [], []) == []
+
+
+class TestInteractiveProtocol:
+    def test_solves_immediately_when_tool_is_right(self):
+        benchmark = Benchmark(
+            benchmark_id="t-ok",
+            description="3 digits",
+            regex_text="Repeat(<num>,3)",
+            positive=("123",),
+            negative=("12",),
+        )
+
+        def solve(positive, negative):
+            from repro.dsl import Repeat, NUM
+
+            return [Repeat(NUM, 3)], 0.01
+
+        session = run_interactive(benchmark, solve, max_iterations=4)
+        assert session.solved_at == 0
+        assert session.solved_by(0)
+
+    def test_adds_examples_when_tool_is_wrong(self):
+        benchmark = Benchmark(
+            benchmark_id="t-wrong",
+            description="2 to 4 digits",
+            regex_text="RepeatRange(<num>,2,4)",
+            positive=("12", "1234"),
+            negative=("1",),
+        )
+        calls = []
+
+        def solve(positive, negative):
+            from repro.dsl import RepeatAtLeast, NUM
+
+            calls.append((tuple(positive), tuple(negative)))
+            return [RepeatAtLeast(NUM, 2)], 0.01
+
+        session = run_interactive(benchmark, solve, max_iterations=2)
+        assert session.solved_at is None
+        assert len(calls) == 3
+        # Examples must grow across iterations.
+        assert len(calls[1][0]) + len(calls[1][1]) > len(calls[0][0]) + len(calls[0][1])
+
+    def test_interactive_with_real_tool_on_benchmark(self, fast_config):
+        benchmark = stackoverflow_dataset()[5]  # the percentage benchmark
+        tool = Regel(config=fast_config, num_sketches=10)
+
+        def solve(positive, negative):
+            result = tool.synthesize(
+                benchmark.description, positive, negative, k=3, time_budget=6.0
+            )
+            return result.regexes, result.elapsed
+
+        session = run_interactive(benchmark, solve, max_iterations=1)
+        assert session.outcomes
+        for outcome in session.outcomes:
+            assert outcome.num_positive >= len(benchmark.positive)
+
+
+class TestCli:
+    def test_cli_simple_invocation(self, capsys):
+        from repro.cli import main
+
+        code = main(["3 digits", "--pos", "123", "--neg", "12", "-t", "6"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Repeat" in captured.out or "<num>" in captured.out
+
+    def test_cli_failure_exit_code(self, capsys):
+        from repro.cli import main
+
+        # Contradictory examples: the same string is both positive and negative.
+        code = main(["3 digits", "--pos", "123", "--neg", "123", "-t", "1"])
+        assert code == 1

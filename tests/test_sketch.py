@@ -1,0 +1,150 @@
+"""Tests for the hierarchical sketch language (syntax, parsing, semantics)."""
+
+import pytest
+
+from repro.dsl import (
+    Concat,
+    Contains,
+    NUM,
+    Not,
+    Or,
+    Repeat,
+    RepeatRange,
+    LET,
+    literal,
+    parse_regex,
+)
+from repro.sketch import (
+    ConcreteRegexSketch,
+    Hole,
+    IntOpSketch,
+    OpSketch,
+    SketchParseError,
+    concrete,
+    hole,
+    parse_sketch,
+    sketch_components,
+    sketch_contains,
+    sketch_size,
+    sketch_to_string,
+)
+
+
+class TestConstruction:
+    def test_hole_wraps_regexes(self):
+        h = hole(NUM, literal(","))
+        assert isinstance(h, Hole)
+        assert all(isinstance(c, ConcreteRegexSketch) for c in h.components)
+
+    def test_op_sketch_arity_checked(self):
+        with pytest.raises(ValueError):
+            OpSketch("Concat", [hole(NUM)])
+        with pytest.raises(ValueError):
+            OpSketch("Bogus", [hole(NUM)])
+
+    def test_int_op_sketch_defaults_symbolic(self):
+        sk = IntOpSketch("RepeatRange", hole(NUM))
+        assert sk.ints == (None, None)
+        with pytest.raises(ValueError):
+            IntOpSketch("Repeat", hole(NUM), (1, 2))
+
+
+class TestPrinterParser:
+    def test_round_trip_motivating_sketch(self):
+        # The h-sketch of Eq. (1) in the paper.
+        text = "Concat(Hole(<num>,<,>),Hole(RepeatRange(<num>,1,3),<,>))"
+        sketch = parse_sketch(text)
+        assert sketch_to_string(sketch) == text
+
+    def test_round_trip_symbolic_ints(self):
+        text = "RepeatAtLeast(Hole(<num>),?)"
+        sketch = parse_sketch(text)
+        assert isinstance(sketch, IntOpSketch)
+        assert sketch.ints == (None,)
+        assert sketch_to_string(sketch) == text
+
+    def test_concrete_ops_collapse(self):
+        sketch = parse_sketch("Concat(<num>,<let>)")
+        assert isinstance(sketch, ConcreteRegexSketch)
+        assert sketch.regex == Concat(NUM, LET)
+
+    def test_empty_hole(self):
+        sketch = parse_sketch("Hole()")
+        assert sketch == Hole(())
+
+    def test_parse_error(self):
+        with pytest.raises(SketchParseError):
+            parse_sketch("Hole(<num>")
+        with pytest.raises(SketchParseError):
+            parse_sketch("Frob(<num>)")
+
+    def test_stackoverflow_gold_sketch(self):
+        # Section 7: Or(Hole{Repeat(<let>,2), Repeat(<num>,6)}, Hole{Repeat(<num>,8)})
+        text = "Or(Hole(Repeat(<let>,2),Repeat(<num>,6)),Hole(Repeat(<num>,8)))"
+        sketch = parse_sketch(text)
+        assert isinstance(sketch, OpSketch)
+        assert sketch.op == "Or"
+
+
+class TestSemantics:
+    def test_example_3_1_positive(self):
+        """Example 3.1: Concat(<num>, Contains(<,>)) is in the sketch's language."""
+        sketch = parse_sketch("Concat(Hole(<,>,<num>),Hole(<,>,RepeatRange(<num>,1,3)))")
+        regex = Concat(NUM, Contains(literal(",")))
+        assert sketch_contains(sketch, regex, depth=2)
+
+    def test_example_3_1_depth_restriction(self):
+        """With depth 1 for the second hole the same regex is excluded."""
+        sketch = parse_sketch("Concat(Hole(<,>,<num>),Hole(<,>,RepeatRange(<num>,1,3)))")
+        regex = Concat(NUM, Contains(literal(",")))
+        assert not sketch_contains(sketch, regex, depth=1)
+
+    def test_concrete_component_must_match_exactly(self):
+        sketch = concrete(Repeat(NUM, 3))
+        assert sketch_contains(sketch, Repeat(NUM, 3))
+        assert not sketch_contains(sketch, Repeat(NUM, 2))
+
+    def test_int_op_sketch_matches_any_constant(self):
+        sketch = IntOpSketch("Repeat", concrete(NUM))
+        assert sketch_contains(sketch, Repeat(NUM, 2))
+        assert sketch_contains(sketch, Repeat(NUM, 9))
+        assert not sketch_contains(sketch, RepeatRange(NUM, 1, 3))
+
+    def test_int_op_sketch_fixed_constant(self):
+        sketch = IntOpSketch("Repeat", concrete(NUM), (3,))
+        assert sketch_contains(sketch, Repeat(NUM, 3))
+        assert not sketch_contains(sketch, Repeat(NUM, 4))
+
+    def test_hole_requires_component_as_leaf(self):
+        sketch = hole(literal(","))
+        assert sketch_contains(sketch, literal(","), depth=2)
+        assert sketch_contains(sketch, Not(literal(",")), depth=2)
+        # A regex that never uses the comma component is excluded.
+        assert not sketch_contains(sketch, Repeat(NUM, 2), depth=3)
+
+    def test_unconstrained_hole_depth_bound(self):
+        sketch = Hole(())
+        assert sketch_contains(sketch, NUM, depth=1)
+        assert sketch_contains(sketch, Repeat(NUM, 2), depth=2)
+        assert not sketch_contains(sketch, Not(Repeat(NUM, 2)), depth=2)
+
+    def test_motivating_example_solution_in_sketch(self):
+        """The final regex of Section 2 belongs to the Eq. (1) h-sketch."""
+        sketch = parse_sketch(
+            "Concat(Hole(<num>,<,>),Hole(RepeatRange(<num>,1,3),<,>))"
+        )
+        regex = parse_regex(
+            "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,1,3))))"
+        )
+        assert sketch_contains(sketch, regex, depth=3)
+
+
+class TestUtilities:
+    def test_sketch_components(self):
+        sketch = parse_sketch("Concat(Hole(<num>,<,>),Hole(RepeatRange(<num>,1,3)))")
+        components = sketch_components(sketch)
+        assert len(components) == 3
+
+    def test_sketch_size(self):
+        sketch = parse_sketch("Concat(Hole(<num>),Hole(<,>))")
+        assert sketch_size(sketch) == 5

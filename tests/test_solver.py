@@ -1,0 +1,227 @@
+"""Tests for the bounded-integer constraint solver (the Z3 substitute)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import (
+    Add,
+    AndF,
+    Cmp,
+    Const,
+    Exists,
+    FALSE,
+    Mul,
+    NotF,
+    OrF,
+    Solver,
+    TRUE,
+    Var,
+    conjoin,
+    disjoin,
+    var_names,
+)
+from repro.solver.terms import substitute
+
+
+def _check(model, formula_fn):
+    """Evaluate a ground formula checker against a model."""
+    assert model is not None
+    assert formula_fn(model)
+
+
+class TestTermsAndFormulas:
+    def test_operator_sugar(self):
+        term = Var("x") + 3
+        assert isinstance(term, Add)
+        product = Var("x") * Var("k")
+        assert isinstance(product, Mul)
+
+    def test_cmp_validates_operator(self):
+        with pytest.raises(ValueError):
+            Cmp("<>", Var("x"), Const(1))
+
+    def test_conjoin_simplifications(self):
+        assert conjoin([TRUE, TRUE]) == TRUE
+        assert conjoin([TRUE, FALSE]) == FALSE
+        atom = Cmp("<=", Var("x"), Const(3))
+        assert conjoin([atom]) == atom
+
+    def test_disjoin_simplifications(self):
+        assert disjoin([]) == FALSE
+        assert disjoin([FALSE, TRUE]) == TRUE
+
+    def test_var_names_includes_bound(self):
+        formula = Exists(["x1"], Cmp("==", Var("x1"), Var("k")))
+        assert var_names(formula) == {"x1", "k"}
+
+    def test_substitute(self):
+        formula = Cmp("<=", Add((Var("x"), Var("k"))), Const(5))
+        ground = substitute(formula, {"x": 2, "k": 3})
+        assert var_names(ground) == set()
+
+
+class TestSolverBasics:
+    def test_trivially_true(self):
+        assert Solver().solve(TRUE, {}) == {}
+
+    def test_trivially_false(self):
+        assert Solver().solve(FALSE, {}) is None
+
+    def test_simple_inequality(self):
+        formula = Cmp("<=", Add((Var("k1"), Var("k2"))), Const(7))
+        model = Solver().solve(formula, {"k1": (1, 30), "k2": (1, 30)})
+        _check(model, lambda m: m["k1"] + m["k2"] <= 7)
+
+    def test_unsat_bounds(self):
+        formula = AndF([
+            Cmp(">=", Var("k"), Const(5)),
+            Cmp("<=", Var("k"), Const(3)),
+        ])
+        assert Solver().solve(formula, {"k": (1, 30)}) is None
+
+    def test_equality_and_disjunction(self):
+        formula = OrF([
+            Cmp("==", Var("x"), Const(4)),
+            Cmp("==", Var("x"), Const(9)),
+        ])
+        model = Solver().solve(formula, {"x": (0, 20)})
+        _check(model, lambda m: m["x"] in (4, 9))
+
+    def test_negation(self):
+        formula = AndF([
+            NotF(Cmp("==", Var("k"), Const(1))),
+            Cmp("<=", Var("k"), Const(2)),
+        ])
+        model = Solver().solve(formula, {"k": (1, 5)})
+        _check(model, lambda m: m["k"] == 2)
+
+    def test_nonlinear_product(self):
+        # x = k1 * k2, x == 12, k1 < k2
+        formula = AndF([
+            Cmp("==", Var("x"), Mul((Var("k1"), Var("k2")))),
+            Cmp("==", Var("x"), Const(12)),
+            Cmp("<", Var("k1"), Var("k2")),
+        ])
+        model = Solver().solve(formula, {"x": (0, 20), "k1": (1, 12), "k2": (1, 12)})
+        _check(model, lambda m: m["k1"] * m["k2"] == 12 and m["k1"] < m["k2"])
+
+    def test_exists_is_flattened(self):
+        formula = Exists(
+            ["x1"],
+            AndF([
+                Cmp("==", Var("x"), Add((Var("x1"), Var("k")))),
+                Cmp(">=", Var("x1"), Const(2)),
+            ]),
+        )
+        model = Solver().solve(
+            substitute(formula, {"x": 5}), {"x1": (0, 10), "k": (1, 10)}
+        )
+        _check(model, lambda m: m["x1"] + m["k"] == 5 and m["x1"] >= 2)
+
+    def test_prefer_order_respected_for_branching(self):
+        formula = Cmp("<=", Add((Var("k"), Var("x"))), Const(10))
+        model = Solver().solve(formula, {"k": (1, 30), "x": (0, 30)}, prefer=["k"])
+        _check(model, lambda m: m["k"] + m["x"] <= 10)
+
+
+class TestPaperExample:
+    """Example 4.6 of the paper: kappa1 + kappa2 <= 7 with both in [1, MAX]."""
+
+    def test_example_4_6(self):
+        max_bound = 30
+        formula = AndF([
+            Cmp("<=", Add((Var("k1"), Var("k2"))), Const(7)),
+            Cmp(">=", Var("k1"), Const(1)),
+            Cmp(">=", Var("k2"), Const(1)),
+        ])
+        solver = Solver()
+        domains = {"k1": (1, max_bound), "k2": (1, max_bound)}
+        model = solver.solve(formula, domains, prefer=["k1", "k2"])
+        _check(model, lambda m: m["k1"] + m["k2"] <= 7)
+
+        # Blocking clause loop: enumerate several distinct models of k1.
+        seen = set()
+        blocked = formula
+        for _ in range(4):
+            model = solver.solve(blocked, domains, prefer=["k1", "k2"])
+            if model is None:
+                break
+            seen.add(model["k1"])
+            blocked = AndF([blocked, NotF(Cmp("==", Var("k1"), Const(model["k1"])))])
+        assert len(seen) >= 3
+
+
+class TestComponentDecomposition:
+    def test_independent_conjuncts_solved(self):
+        # Two groups sharing only the symbolic integer k.
+        parts = []
+        for index, total in enumerate((7, 12)):
+            x = Var(f"x{index}")
+            parts.append(Cmp("==", Const(total), Add((x, Var("k")))))
+            parts.append(Cmp(">=", x, Const(1)))
+        formula = AndF(parts)
+        domains = {"k": (1, 30), "x0": (0, 30), "x1": (0, 30)}
+        model = Solver().solve(formula, domains, prefer=["k"])
+        _check(
+            model,
+            lambda m: m["x0"] + m["k"] == 7 and m["x1"] + m["k"] == 12 and m["x0"] >= 1,
+        )
+
+    def test_many_independent_examples_fast(self):
+        # 8 independent example groups; naive search over the cross product
+        # would be hopeless, component decomposition makes it immediate.
+        parts = [Cmp("<=", Var("k"), Const(5))]
+        domains = {"k": (1, 30)}
+        for index in range(8):
+            x = Var(f"x{index}")
+            y = Var(f"y{index}")
+            parts.append(Cmp("==", Const(10 + index), Add((x, y, Var("k")))))
+            domains[f"x{index}"] = (0, 30)
+            domains[f"y{index}"] = (0, 30)
+        model = Solver(max_steps=50_000).solve(AndF(parts), domains, prefer=["k"])
+        assert model is not None
+        for index in range(8):
+            assert model[f"x{index}"] + model[f"y{index}"] + model["k"] == 10 + index
+
+
+class TestSolverProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["<=", ">=", "==", "<", ">", "!="]),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(0, 10),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_models_satisfy_constraints(self, atoms):
+        formula = AndF([Cmp(op, Var(name), Const(value)) for op, name, value in atoms])
+        domains = {name: (0, 10) for name in "abc"}
+        model = Solver().solve(formula, domains)
+        if model is None:
+            # Cross-check UNSAT by brute force.
+            found = False
+            for a in range(11):
+                for b in range(11):
+                    for c in range(11):
+                        env = {"a": a, "b": b, "c": c}
+                        if all(_holds(op, env[name], value) for op, name, value in atoms):
+                            found = True
+            assert not found
+        else:
+            for op, name, value in atoms:
+                assert _holds(op, model[name], value)
+
+
+def _holds(op, lhs, rhs):
+    return {
+        "<=": lhs <= rhs,
+        ">=": lhs >= rhs,
+        "==": lhs == rhs,
+        "!=": lhs != rhs,
+        "<": lhs < rhs,
+        ">": lhs > rhs,
+    }[op]

@@ -1,0 +1,195 @@
+"""End-to-end tests for the PBE engine: encoding, InferConstants, and search."""
+
+import pytest
+
+from repro.dsl import (
+    Concat,
+    NUM,
+    Optional,
+    Repeat,
+    RepeatAtLeast,
+    RepeatRange,
+    literal,
+    matches,
+    parse_regex,
+)
+from repro.sketch import Hole, concrete, hole, parse_sketch
+from repro.solver import Solver
+from repro.synthesis import (
+    EngineVariant,
+    Examples,
+    PLeaf,
+    POp,
+    SymInt,
+    SynthesisConfig,
+    Synthesizer,
+    constraint_for_examples,
+    infer_constants,
+    synthesize,
+)
+from repro.solver.terms import substitute, var_names
+from repro.solver.solver import _evaluate  # type: ignore
+
+
+class TestEncoding:
+    def test_example_4_5_constraint(self):
+        """The symbolic regex of Example 4.5 admits k1 + k2 <= 7 for example '12345.1'."""
+        partial = POp(
+            "Concat",
+            (
+                POp("Repeat", (PLeaf(parse_regex("Or(<.>,<num>)")),), (SymInt("k1"),)),
+                POp(
+                    "RepeatAtLeast",
+                    (PLeaf(RepeatRange(NUM, 1, 3)),),
+                    (SymInt("k2"),),
+                ),
+            ),
+        )
+        examples = Examples(["12345.1"], [])
+        config = SynthesisConfig(max_kappa=30)
+        formula, domains, kappas = constraint_for_examples(partial, examples, config)
+        assert kappas == {"k1", "k2"}
+        solver = Solver()
+        # k1 = k2 = 1 is allowed; k1 = 7, k2 = 1 is allowed; k1 + k2 > 7 is not.
+        assert solver.satisfiable(
+            substitute(formula, {"k1": 1, "k2": 1}),
+            {name: domains[name] for name in var_names(formula)},
+        )
+        assert not solver.satisfiable(
+            substitute(formula, {"k1": 7, "k2": 2}),
+            {name: domains[name] for name in var_names(formula)},
+        )
+
+    def test_constraint_respects_all_positive_examples(self):
+        partial = POp("RepeatAtLeast", (PLeaf(NUM),), (SymInt("k1"),))
+        examples = Examples(["123", "12345"], [])
+        config = SynthesisConfig()
+        formula, domains, _ = constraint_for_examples(partial, examples, config)
+        solver = Solver()
+        # RepeatAtLeast(<num>, k) requires k <= len(s) for every positive
+        # example, so the shortest example (length 3) bounds k.
+        assert solver.satisfiable(substitute(formula, {"k1": 3}), domains)
+        assert not solver.satisfiable(substitute(formula, {"k1": 4}), domains)
+
+    def test_exact_repeat_conflicting_lengths_unsat(self):
+        partial = POp("Repeat", (PLeaf(NUM),), (SymInt("k1"),))
+        examples = Examples(["123", "12345"], [])
+        formula, domains, _ = constraint_for_examples(partial, examples, SynthesisConfig())
+        # No single exact repeat count matches strings of length 3 and 5.
+        assert Solver().solve(formula, domains, prefer=["k1"]) is None
+
+
+class TestInferConstants:
+    def test_infers_exact_repeat_count(self):
+        partial = POp("Repeat", (PLeaf(NUM),), (SymInt("k1"),))
+        examples = Examples(["1234"], ["123"])
+        config = SynthesisConfig()
+        candidates = infer_constants(partial, examples, config)
+        regexes = [c for c in candidates]
+        assert any(
+            examples.consistent(_to_regex(c)) for c in regexes
+        ), "expected Repeat(<num>,4) among the candidates"
+
+    def test_prunes_against_negative_examples(self):
+        partial = POp(
+            "Concat",
+            (
+                POp("RepeatRange", (PLeaf(NUM),), (1, SymInt("k1"))),
+                PLeaf(Optional(Concat(literal("."), RepeatRange(NUM, 1, 3)))),
+            ),
+        )
+        examples = Examples(
+            ["123456789.123", "12345.1", "123456789123456"],
+            ["1234567891234567"],
+        )
+        config = SynthesisConfig(max_kappa=20)
+        candidates = infer_constants(partial, examples, config)
+        consistent = [c for c in candidates if examples.consistent(_to_regex(c))]
+        assert consistent, "expected a consistent completion with k1 = 15"
+        assert any(_to_regex(c) == parse_regex(
+            "Concat(RepeatRange(<num>,1,15),Optional(Concat(<.>,RepeatRange(<num>,1,3))))"
+        ) for c in consistent)
+
+
+def _to_regex(partial):
+    from repro.synthesis import to_regex
+
+    return to_regex(partial)
+
+
+class TestSynthesizer:
+    def test_completes_concrete_sketch(self):
+        result = synthesize(concrete(Repeat(NUM, 3)), ["123"], ["12"])
+        assert result.solved
+        assert result.best == Repeat(NUM, 3)
+
+    def test_rejects_inconsistent_concrete_sketch(self):
+        result = synthesize(concrete(Repeat(NUM, 3)), ["1234"], [])
+        assert not result.solved
+
+    def test_small_hole_search(self):
+        """An unconstrained-but-shallow hole can still find Repeat(<num>, 2)."""
+        config = SynthesisConfig(hole_depth=2, timeout=10.0)
+        result = synthesize(
+            hole(NUM), ["12", "99", "07"], ["1", "123", "ab"], config=config
+        )
+        assert result.solved
+        regex = result.best
+        assert matches(regex, "56")
+        assert not matches(regex, "5")
+
+    def test_sketch_guides_to_target(self):
+        """A sketch with useful hints completes to a consistent regex."""
+        sketch = parse_sketch("Concat(Hole(RepeatRange(<let>,1,3)),Hole(Repeat(<num>,2)))")
+        config = SynthesisConfig(hole_depth=2, timeout=10.0)
+        result = synthesize(
+            sketch,
+            ["ab12", "a34", "xyz99"],
+            ["ab1", "1234", "abcd12"],
+            config=config,
+        )
+        assert result.solved
+        regex = result.best
+        assert matches(regex, "zz55")
+        assert not matches(regex, "zz5")
+
+    def test_motivating_example_with_good_sketch(self):
+        """Section 2 end-to-end: decimal(18,3) from the Eq. (1)-style sketch."""
+        sketch = parse_sketch(
+            "Concat(Hole(RepeatRange(<num>,1,15)),"
+            "Hole(Optional(Concat(<.>,RepeatRange(<num>,1,3)))))"
+        )
+        positives = ["123456789.123", "123456789123456.12", "12345.1", "123456789123456"]
+        negatives = ["1234567891234567", "123.1234", "1.12345", ".1234"]
+        config = SynthesisConfig(hole_depth=2, timeout=15.0)
+        result = synthesize(sketch, positives, negatives, config=config)
+        assert result.solved
+        regex = result.best
+        assert all(matches(regex, p) for p in positives)
+        assert not any(matches(regex, n) for n in negatives)
+
+    def test_timeout_respected(self):
+        config = SynthesisConfig(hole_depth=4, timeout=0.2)
+        result = synthesize(hole(), ["aa1", "bb2"], ["zzz9"], config=config)
+        assert result.elapsed < 5.0
+
+    def test_variants_produce_same_answer_on_easy_problem(self):
+        sketch = parse_sketch("Repeat(Hole(<num>),?)")
+        for variant in EngineVariant:
+            result = synthesize(sketch, ["123"], ["12", "1234"], variant=variant,
+                                config=SynthesisConfig(timeout=10.0, hole_depth=2))
+            assert result.solved, variant
+            assert matches(result.best, "456")
+
+    def test_multiple_results_ranked_by_size(self):
+        config = SynthesisConfig(hole_depth=2, timeout=10.0, max_results=3)
+        result = synthesize(hole(NUM), ["12", "34"], ["1", "abc"], config=config)
+        assert result.solved
+        sizes = [_size(r) for r in result.regexes]
+        assert sizes == sorted(sizes)
+
+
+def _size(regex):
+    from repro.dsl.simplify import size
+
+    return size(regex)
