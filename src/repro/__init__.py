@@ -6,20 +6,49 @@ positive/negative examples.
 
 Public entry points:
 
-* :class:`repro.multimodal.Regel` — the end-to-end tool,
+* :mod:`repro.api` — the pipeline API (``Problem`` → ``SketchProvider`` →
+  ``Scheduler`` → ``Session`` → ``RunReport``), the preferred interface,
+* :class:`repro.multimodal.Regel` — the legacy facade (deprecated shim over
+  the pipeline API),
 * :func:`repro.synthesis.synthesize` — the sketch-guided PBE engine,
 * :class:`repro.nlp.SemanticParser` — English → ranked h-sketches,
 * :mod:`repro.datasets` — the two evaluation corpora,
 * :mod:`repro.experiments` — regeneration of every figure in Section 8.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import (
+    CancelToken,
+    InterleavedScheduler,
+    NlSketchProvider,
+    PbeOnlyProvider,
+    Problem,
+    ProcessPoolScheduler,
+    RunReport,
+    SequentialScheduler,
+    Session,
+    SketchReport,
+    Solution,
+    StaticSketchProvider,
+)
 from repro.multimodal.regel import Regel, RegelResult
 from repro.synthesis import SynthesisConfig, EngineVariant, synthesize
 from repro.nlp.sketch_gen import SemanticParser
 
 __all__ = [
+    "Problem",
+    "Solution",
+    "SketchReport",
+    "RunReport",
+    "Session",
+    "CancelToken",
+    "NlSketchProvider",
+    "StaticSketchProvider",
+    "PbeOnlyProvider",
+    "SequentialScheduler",
+    "InterleavedScheduler",
+    "ProcessPoolScheduler",
     "Regel",
     "RegelResult",
     "SynthesisConfig",

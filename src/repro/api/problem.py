@@ -1,0 +1,96 @@
+"""The frozen :class:`Problem` specification.
+
+A :class:`Problem` is a complete, immutable, serialisable description of one
+synthesis request: the English description, the positive/negative string
+examples, how many regexes to return (``k``), the wall-clock budget, and the
+engine variant.  Because problems are plain frozen dataclasses that
+round-trip through JSON (:meth:`Problem.to_dict` / :meth:`Problem.from_dict`),
+they can be queued, batched, logged, shipped to worker processes, and
+replayed — the prerequisites for running synthesis as a service.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping
+
+from repro.synthesis.config import EngineVariant
+from repro.synthesis.examples import Examples
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One synthesis request (immutable and JSON-round-trippable)."""
+
+    #: Natural-language description of the target regex (may be empty for
+    #: examples-only synthesis).
+    description: str = ""
+    #: Strings the regex must accept.
+    positive: tuple[str, ...] = ()
+    #: Strings the regex must reject.
+    negative: tuple[str, ...] = ()
+    #: Number of distinct consistent regexes requested.
+    k: int = 1
+    #: Total wall-clock budget in seconds, shared across all sketches.
+    budget: float = 20.0
+    #: Engine variant (full Regel or one of the Figure-18 ablations).
+    variant: EngineVariant = EngineVariant.FULL
+
+    def __init__(
+        self,
+        description: str = "",
+        positive: Iterable[str] = (),
+        negative: Iterable[str] = (),
+        k: int = 1,
+        budget: float = 20.0,
+        variant: EngineVariant | str = EngineVariant.FULL,
+    ):
+        object.__setattr__(self, "description", description)
+        object.__setattr__(self, "positive", tuple(positive))
+        object.__setattr__(self, "negative", tuple(negative))
+        object.__setattr__(self, "k", int(k))
+        object.__setattr__(self, "budget", float(budget))
+        if isinstance(variant, str):
+            variant = EngineVariant(variant)
+        object.__setattr__(self, "variant", variant)
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "description": self.description,
+            "positive": list(self.positive),
+            "negative": list(self.negative),
+            "k": self.k,
+            "budget": self.budget,
+            "variant": self.variant.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Problem":
+        return cls(
+            description=data.get("description", ""),
+            positive=data.get("positive", ()),
+            negative=data.get("negative", ()),
+            k=data.get("k", 1),
+            budget=data.get("budget", 20.0),
+            variant=data.get("variant", EngineVariant.FULL),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Problem":
+        return cls.from_dict(json.loads(text))
+
+    # -- helpers -------------------------------------------------------------
+
+    def examples(self) -> Examples:
+        """The example set as consumed by the PBE engine."""
+        return Examples(self.positive, self.negative)

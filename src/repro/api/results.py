@@ -1,0 +1,173 @@
+"""Result types of the pipeline API: :class:`Solution` and :class:`RunReport`.
+
+Solutions carry the regex in the paper's DSL notation (which round-trips
+through :func:`repro.dsl.parser.parse_regex`), so a :class:`RunReport` is a
+pure-data record that serialises to JSON and back without loss — suitable for
+batch outputs, service responses, and offline analysis of per-sketch
+telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.api.problem import Problem
+from repro.dsl import ast as rast
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One consistent regex, as discovered during a run."""
+
+    #: The regex in DSL notation (parse back with :meth:`ast`).
+    regex: str
+    #: AST size (the ranking key — smaller is better).
+    size: int
+    #: Index of the sketch whose engine instance found this regex.
+    sketch_index: int
+    #: Seconds since the start of the run when the regex was found.
+    elapsed: float
+
+    def ast(self) -> rast.Regex:
+        """Parse the DSL string back into a regex AST."""
+        from repro.dsl.parser import parse_regex
+
+        return parse_regex(self.regex)
+
+    def python_regex(self) -> Optional[str]:
+        """The equivalent Python ``re`` pattern, or None outside the classical subset."""
+        from repro.dsl.printer import UnsupportedConstructError, to_python_regex
+
+        try:
+            return to_python_regex(self.ast())
+        except UnsupportedConstructError:
+            return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "regex": self.regex,
+            "size": self.size,
+            "sketch_index": self.sketch_index,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Solution":
+        return cls(
+            regex=data["regex"],
+            size=data["size"],
+            sketch_index=data["sketch_index"],
+            elapsed=data["elapsed"],
+        )
+
+
+@dataclass(frozen=True)
+class SketchReport:
+    """Per-sketch engine telemetry, recorded for every *attempted* sketch."""
+
+    #: Position of the sketch in the provider's ranked list.
+    index: int
+    #: The sketch in textual notation.
+    sketch: str
+    #: Worklist expansions performed by this sketch's engine instance.
+    expansions: int
+    #: Candidates discarded by the approximation check.
+    pruned: int
+    #: Engine time spent on this sketch, in seconds.
+    elapsed: float
+    #: Whether this sketch's engine found at least one consistent regex.
+    solved: bool
+    #: Whether the engine was stopped by a budget or expansion cap.
+    timed_out: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "sketch": self.sketch,
+            "expansions": self.expansions,
+            "pruned": self.pruned,
+            "elapsed": self.elapsed,
+            "solved": self.solved,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SketchReport":
+        return cls(
+            index=data["index"],
+            sketch=data["sketch"],
+            expansions=data["expansions"],
+            pruned=data["pruned"],
+            elapsed=data["elapsed"],
+            solved=data["solved"],
+            timed_out=data["timed_out"],
+        )
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of solving one :class:`Problem`."""
+
+    #: The problem this report answers.
+    problem: Problem
+    #: Name of the scheduler that produced the report.
+    scheduler: str = "sequential"
+    #: Distinct consistent regexes, smallest first (at most ``problem.k``).
+    solutions: List[Solution] = field(default_factory=list)
+    #: Telemetry for every sketch that was attempted.
+    sketches: List[SketchReport] = field(default_factory=list)
+    #: Total wall-clock time of the run, in seconds.
+    elapsed: float = 0.0
+    #: True when the run was cancelled before its budget elapsed.
+    cancelled: bool = False
+
+    @property
+    def solved(self) -> bool:
+        return bool(self.solutions)
+
+    @property
+    def best(self) -> Optional[Solution]:
+        return self.solutions[0] if self.solutions else None
+
+    @property
+    def sketches_tried(self) -> int:
+        return len(self.sketches)
+
+    @property
+    def total_expansions(self) -> int:
+        return sum(report.expansions for report in self.sketches)
+
+    @property
+    def total_pruned(self) -> int:
+        return sum(report.pruned for report in self.sketches)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "problem": self.problem.to_dict(),
+            "scheduler": self.scheduler,
+            "solutions": [solution.to_dict() for solution in self.solutions],
+            "sketches": [report.to_dict() for report in self.sketches],
+            "elapsed": self.elapsed,
+            "cancelled": self.cancelled,
+            "solved": self.solved,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunReport":
+        return cls(
+            problem=Problem.from_dict(data["problem"]),
+            scheduler=data.get("scheduler", "sequential"),
+            solutions=[Solution.from_dict(entry) for entry in data.get("solutions", [])],
+            sketches=[SketchReport.from_dict(entry) for entry in data.get("sketches", [])],
+            elapsed=data.get("elapsed", 0.0),
+            cancelled=data.get("cancelled", False),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))

@@ -2,15 +2,17 @@
 
 Regel-PBE runs the exact same PBE engine as Regel but starts from a completely
 unconstrained sketch (a single hole with no hints), so neither the search
-order nor the deductive pruning benefits from the natural language.
+order nor the deductive pruning benefits from the natural language.  In
+pipeline terms this is simply the :class:`~repro.api.providers.PbeOnlyProvider`
+plugged into a standard :class:`~repro.api.session.Session`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.dsl import ast as rast
-from repro.multimodal.regel import Regel, RegelResult, pbe_only_sketches
+from repro.api import PbeOnlyProvider, Problem, RunReport, SequentialScheduler, Session
+from repro.multimodal.regel import RegelResult
 from repro.synthesis import SynthesisConfig
 
 
@@ -18,7 +20,12 @@ class RegelPbe:
     """Examples-only variant of Regel (single unconstrained hole)."""
 
     def __init__(self, config: Optional[SynthesisConfig] = None):
-        self.regel = Regel(config=config)
+        self.config = config or SynthesisConfig()
+        self.session = Session(
+            provider=PbeOnlyProvider(),
+            scheduler=SequentialScheduler(),
+            config=self.config,
+        )
 
     def solve(
         self,
@@ -27,11 +34,23 @@ class RegelPbe:
         k: int = 1,
         time_budget: Optional[float] = None,
     ) -> RegelResult:
-        return self.regel.synthesize(
-            description="",
-            positive=positive,
-            negative=negative,
-            k=k,
-            time_budget=time_budget,
-            sketches=pbe_only_sketches(),
+        report = self.solve_report(positive, negative, k=k, time_budget=time_budget)
+        return RegelResult.from_report(report)
+
+    def solve_report(
+        self,
+        positive: Sequence[str],
+        negative: Sequence[str],
+        k: int = 1,
+        time_budget: Optional[float] = None,
+    ) -> RunReport:
+        """Pipeline-native entry point returning the full :class:`RunReport`."""
+        return self.session.solve(
+            Problem(
+                description="",
+                positive=positive,
+                negative=negative,
+                k=k,
+                budget=time_budget if time_budget is not None else self.config.timeout,
+            )
         )

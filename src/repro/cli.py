@@ -1,48 +1,198 @@
-"""Command-line interface: ``regel "description" --pos a --pos b --neg c``."""
+"""Command-line interface over the pipeline API.
+
+Two subcommands:
+
+* ``regel solve "description" --pos a --pos b --neg c`` — solve one problem;
+  ``--json`` emits the full machine-readable :class:`~repro.api.RunReport`,
+* ``regel batch problems.json`` — solve a JSON array (or JSON-lines stream)
+  of problem specs, emitting one report per line (JSON lines).
+
+For backwards compatibility, ``regel "description" --pos a`` (no subcommand)
+is treated as ``regel solve ...``.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.dsl.printer import to_dsl_string, to_python_regex, UnsupportedConstructError
-from repro.multimodal.regel import Regel
+from repro.api import (
+    NlSketchProvider,
+    PbeOnlyProvider,
+    Problem,
+    SCHEDULERS,
+    Session,
+    StaticSketchProvider,
+    make_scheduler,
+)
+from repro.sketch.parser import SketchParseError
 from repro.synthesis import SynthesisConfig
+from repro.synthesis.config import EngineVariant
 
 
-def build_arg_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="regel",
-        description="Synthesize a regex from an English description and string examples.",
-    )
+def _add_solve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("description", help="natural-language description of the regex")
     parser.add_argument("--pos", action="append", default=[], help="positive example (repeatable)")
     parser.add_argument("--neg", action="append", default=[], help="negative example (repeatable)")
     parser.add_argument("-k", type=int, default=1, help="number of regexes to return")
     parser.add_argument("-t", "--timeout", type=float, default=20.0, help="time budget in seconds")
     parser.add_argument("--sketches", type=int, default=25, help="number of sketches to try")
+    parser.add_argument(
+        "--sketch",
+        action="append",
+        default=[],
+        metavar="SKETCH",
+        help="static sketch in textual notation (repeatable; bypasses the NL parser)",
+    )
+    parser.add_argument(
+        "--pbe-only",
+        action="store_true",
+        help="ignore the description and synthesize from examples only (Regel-PBE)",
+    )
+    parser.add_argument(
+        "--variant",
+        choices=[variant.value for variant in EngineVariant],
+        default=EngineVariant.FULL.value,
+        help="engine variant (full Regel or a Figure-18 ablation)",
+    )
+    _add_scheduler_arguments(parser)
+    parser.add_argument("--json", action="store_true", help="emit the RunReport as JSON")
+
+
+def _add_scheduler_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="sequential",
+        help="how engine instances share the time budget",
+    )
+    parser.add_argument(
+        "--greedy-budget",
+        action="store_true",
+        help="sequential scheduler only: restore the historical policy in which "
+        "one pathological sketch may consume nearly the whole budget",
+    )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="regel",
+        description="Synthesize regexes from English descriptions and string examples.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    solve = subparsers.add_parser("solve", help="solve a single problem")
+    _add_solve_arguments(solve)
+
+    batch = subparsers.add_parser(
+        "batch", help="solve a JSON array / JSON-lines file of problem specs"
+    )
+    batch.add_argument("input", help="path to the problems file, or '-' for stdin")
+    _add_scheduler_arguments(batch)
+    batch.add_argument(
+        "--pbe-only", action="store_true", help="examples-only synthesis for every problem"
+    )
+    batch.add_argument("--sketches", type=int, default=25, help="number of sketches to try")
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_arg_parser().parse_args(argv)
-    config = SynthesisConfig(timeout=args.timeout)
-    tool = Regel(config=config, num_sketches=args.sketches)
-    result = tool.synthesize(
-        args.description, args.pos, args.neg, k=args.k, time_budget=args.timeout
+def _make_session(
+    args: argparse.Namespace,
+    static_sketches: Sequence[str] = (),
+    config: Optional[SynthesisConfig] = None,
+) -> Session:
+    if args.scheduler == "sequential":
+        scheduler = make_scheduler("sequential", fair=not args.greedy_budget)
+    else:
+        scheduler = make_scheduler(args.scheduler)
+    if getattr(args, "pbe_only", False):
+        provider = PbeOnlyProvider()
+    elif static_sketches:
+        provider = StaticSketchProvider(list(static_sketches))
+    else:
+        provider = NlSketchProvider(num_sketches=args.sketches)
+    return Session(provider=provider, scheduler=scheduler, config=config)
+
+
+def _run_solve(args: argparse.Namespace) -> int:
+    problem = Problem(
+        description=args.description,
+        positive=args.pos,
+        negative=args.neg,
+        k=args.k,
+        budget=args.timeout,
+        variant=args.variant,
     )
-    if not result.solved:
+    session = _make_session(
+        args, static_sketches=args.sketch, config=SynthesisConfig(timeout=args.timeout)
+    )
+    if args.json:
+        report = session.solve(problem)
+        print(report.to_json(indent=2))
+        return 0 if report.solved else 1
+    # Stream solutions as the portfolio discovers them.
+    for solution in session.iter_solutions(problem):
+        line = solution.regex
+        python_pattern = solution.python_regex()
+        if python_pattern is not None:
+            line += f"    (python: {python_pattern})"
+        print(line, flush=True)
+    report = session.last_report
+    if report is None or not report.solved:
         print("no consistent regex found within the time budget", file=sys.stderr)
         return 1
-    for regex in result.regexes:
-        line = to_dsl_string(regex)
-        try:
-            line += f"    (python: {to_python_regex(regex)})"
-        except UnsupportedConstructError:
-            pass
-        print(line)
     return 0
+
+
+def _read_problems(path: str) -> List[Problem]:
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    stripped = text.strip()
+    if not stripped:
+        return []
+    if stripped.startswith("["):
+        entries = json.loads(stripped)
+    else:  # JSON lines
+        entries = [json.loads(line) for line in stripped.splitlines() if line.strip()]
+    return [Problem.from_dict(entry) for entry in entries]
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    problems = _read_problems(args.input)
+    session = _make_session(args)
+    solved = 0
+    for problem in problems:
+        report = session.solve(problem)
+        solved += report.solved
+        print(report.to_json(), flush=True)
+    print(f"solved {solved}/{len(problems)} problems", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    # Backwards compatibility: `regel "description" --pos ...` means `solve`.
+    if argv and argv[0] not in {"solve", "batch", "-h", "--help"}:
+        argv = ["solve", *argv]
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    try:
+        if args.command == "batch":
+            return _run_batch(args)
+        return _run_solve(args)
+    except (SketchParseError, json.JSONDecodeError, ValueError, OSError) as exc:
+        # User-input errors (bad sketch notation, malformed problem files,
+        # invalid budgets) get one clean line instead of a traceback.
+        print(f"regel: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,12 +7,18 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro.api import (
+    NlSketchProvider,
+    PbeOnlyProvider,
+    Problem,
+    Scheduler,
+    SequentialScheduler,
+    Session,
+)
 from repro.baselines.deepregex import DeepRegexBaseline
-from repro.baselines.pbe_only import RegelPbe
 from repro.datasets.benchmark import Benchmark
 from repro.datasets.splits import training_pairs
 from repro.multimodal.interaction import InteractiveSession, run_interactive
-from repro.multimodal.regel import Regel, pbe_only_sketches
 from repro.nlp.sketch_gen import SemanticParser
 from repro.synthesis import SynthesisConfig
 
@@ -50,16 +56,32 @@ def make_regel_solver(
     k: int = 1,
     time_budget: float = 10.0,
     num_sketches: int = 25,
+    scheduler: Optional[Scheduler] = None,
 ) -> Solver:
-    """Solver factory for the full Regel tool."""
-    regel = Regel(parser=parser, config=config, num_sketches=num_sketches)
+    """Solver factory for the full Regel tool.
+
+    ``scheduler`` selects the portfolio policy (default: fair-sequential);
+    pass e.g. :class:`repro.api.InterleavedScheduler` to reproduce the
+    paper's run-engines-in-parallel deployment in-process.
+    """
+    session = Session(
+        provider=NlSketchProvider(parser, num_sketches=num_sketches),
+        scheduler=scheduler if scheduler is not None else SequentialScheduler(),
+        config=config,
+    )
 
     def for_benchmark(benchmark: Benchmark):
         def solve(positive: Sequence[str], negative: Sequence[str]):
-            result = regel.synthesize(
-                benchmark.description, positive, negative, k=k, time_budget=time_budget
+            report = session.solve(
+                Problem(
+                    description=benchmark.description,
+                    positive=positive,
+                    negative=negative,
+                    k=k,
+                    budget=time_budget,
+                )
             )
-            return result.regexes, result.elapsed
+            return [solution.ast() for solution in report.solutions], report.elapsed
 
         return solve
 
@@ -67,15 +89,30 @@ def make_regel_solver(
 
 
 def make_pbe_solver(
-    config: Optional[SynthesisConfig] = None, k: int = 1, time_budget: float = 10.0
+    config: Optional[SynthesisConfig] = None,
+    k: int = 1,
+    time_budget: float = 10.0,
+    scheduler: Optional[Scheduler] = None,
 ) -> Solver:
     """Solver factory for the examples-only Regel-PBE baseline."""
-    pbe = RegelPbe(config=config)
+    session = Session(
+        provider=PbeOnlyProvider(),
+        scheduler=scheduler if scheduler is not None else SequentialScheduler(),
+        config=config,
+    )
 
     def for_benchmark(benchmark: Benchmark):
         def solve(positive: Sequence[str], negative: Sequence[str]):
-            result = pbe.solve(positive, negative, k=k, time_budget=time_budget)
-            return result.regexes, result.elapsed
+            report = session.solve(
+                Problem(
+                    description="",
+                    positive=positive,
+                    negative=negative,
+                    k=k,
+                    budget=time_budget,
+                )
+            )
+            return [solution.ast() for solution in report.solutions], report.elapsed
 
         return solve
 

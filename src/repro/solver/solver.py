@@ -14,6 +14,7 @@ it includes the two optimisations that matter for the synthesis workload:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -53,6 +54,7 @@ class Solver:
     def __init__(self, max_steps: int = 2_000_000):
         self.max_steps = max_steps
         self._steps = 0
+        self._deadline: Optional[float] = None
 
     # -- public API ---------------------------------------------------------
 
@@ -61,6 +63,7 @@ class Solver:
         formula: T.Formula,
         domains: Dict[str, Tuple[int, int]],
         prefer: Optional[Iterable[str]] = None,
+        deadline: Optional[float] = None,
     ) -> Optional[Dict[str, int]]:
         """Return a model (full assignment) of ``formula`` or None if UNSAT.
 
@@ -69,9 +72,13 @@ class Solver:
         widest range seen (a defensive default).  ``prefer`` lists variables
         to branch on first (the symbolic integers of the regex), which both
         finds "small" models first and enables component decomposition for
-        the rest.
+        the rest.  ``deadline`` (a ``time.monotonic`` timestamp) aborts the
+        search with :class:`RuntimeError`, like the step budget — it is what
+        keeps a single solver call from blowing through a scheduler's time
+        slice.
         """
         self._steps = 0
+        self._deadline = deadline
         flat = _flatten(formula)
         names = sorted(T.var_names(flat))
         if not names:
@@ -140,6 +147,12 @@ class Solver:
             self._steps += 1
             if self._steps > self.max_steps:
                 raise RuntimeError("solver step budget exceeded")
+            if (
+                self._deadline is not None
+                and self._steps % 2048 == 0
+                and time.monotonic() > self._deadline
+            ):
+                raise RuntimeError("solver deadline exceeded")
             assignment[name] = value
             result = self._search(formula, order, domains, assignment)
             if result is not None:

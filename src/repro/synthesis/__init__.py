@@ -30,7 +30,7 @@ from repro.synthesis.expand import expand, initial_partial
 from repro.synthesis.approximate import approximate_partial, approximate_sketch, infeasible
 from repro.synthesis.encode import encode_partial, constraint_for_examples
 from repro.synthesis.infer_constants import infer_constants
-from repro.synthesis.engine import Synthesizer, SynthesisResult, synthesize
+from repro.synthesis.engine import Synthesizer, SynthesisResult, SynthesisRun, synthesize
 
 __all__ = [
     "SynthesisConfig",
@@ -60,5 +60,6 @@ __all__ = [
     "infer_constants",
     "Synthesizer",
     "SynthesisResult",
+    "SynthesisRun",
     "synthesize",
 ]

@@ -40,6 +40,11 @@ from repro.synthesis.partial import (
 )
 
 
+#: Minimum wall-clock allowance for one symbolic-integer enumeration, even
+#: when the scheduler's slice deadline has already passed.
+_MIN_SYMBOLIC_SLICE = 0.05
+
+
 @dataclass
 class SynthesisResult:
     """Outcome of one synthesis run."""
@@ -64,80 +69,118 @@ class SynthesisResult:
         return self.regexes[0] if self.regexes else None
 
 
-class Synthesizer:
-    """Sketch-guided PBE engine (one instance per synthesis problem)."""
+class SynthesisRun:
+    """A resumable search over one sketch.
 
-    def __init__(self, config: Optional[SynthesisConfig] = None):
-        self.config = config or SynthesisConfig()
-        self.solver = Solver()
+    The search state (worklist, memoisation sets, symbolic-integer factory,
+    accumulated statistics) lives on this object, so the search can be driven
+    in budget-chunked slices by a scheduler: :meth:`step` runs until its time
+    or expansion slice is exhausted and returns, and a later :meth:`step`
+    resumes exactly where the previous one stopped.  This is what lets the
+    portfolio schedulers in :mod:`repro.api.schedulers` interleave many
+    per-sketch engine instances inside one process.
+    """
 
-    # -- public API ----------------------------------------------------------
+    def __init__(self, synthesizer: "Synthesizer", sketch: sast.Sketch, examples: Examples):
+        self.config = synthesizer.config
+        self.solver = synthesizer.solver
+        self.sketch = sketch
+        self.examples = examples
+        self.result = SynthesisResult()
+        self._literal_chars = examples.literal_characters() + self.config.extra_literals
+        self._symints = SymIntFactory()
+        self._counter = count()
+        self._worklist: list[tuple[int, int, PartialRegex]] = []
+        self._seen: set[str] = set()
+        self._rejected_membership: set[str] = set()
+        self._done = False
+        self._push(initial_partial(sketch))
 
-    def synthesize(self, sketch: sast.Sketch, examples: Examples) -> SynthesisResult:
-        """Search for regexes that complete ``sketch`` and satisfy ``examples``."""
+    @property
+    def done(self) -> bool:
+        """True once the search is exhausted, solved, or hit its expansion cap."""
+        return self._done
+
+    def _push(self, partial: PartialRegex) -> None:
+        heapq.heappush(
+            self._worklist, (partial_size(partial), next(self._counter), partial)
+        )
+
+    def step(
+        self, budget: float, max_expansions: Optional[int] = None
+    ) -> SynthesisResult:
+        """Advance the search by at most ``budget`` seconds / ``max_expansions`` pops.
+
+        Returns the accumulated :class:`SynthesisResult`; statistics and
+        ``elapsed`` aggregate across successive calls.  ``result.timed_out``
+        is only set when the run hits the configuration's *global* expansion
+        cap — a caller that abandons a paused run should set it itself.
+        """
         config = self.config
-        result = SynthesisResult()
+        result = self.result
+        examples = self.examples
         start = time.monotonic()
-        deadline = start + config.timeout
-        literal_chars = examples.literal_characters() + config.extra_literals
-        symints = SymIntFactory()
+        deadline = start + budget
+        slice_expansions = 0
 
-        counter = count()
-        worklist: list[tuple[int, int, PartialRegex]] = []
-
-        def push(partial: PartialRegex) -> None:
-            heapq.heappush(worklist, (partial_size(partial), next(counter), partial))
-
-        push(initial_partial(sketch))
-        seen: set[str] = set()
-        rejected_membership: set[str] = set()
-
-        while worklist:
-            if time.monotonic() > deadline or result.expansions >= config.max_expansions:
+        while self._worklist and not self._done:
+            if result.expansions >= config.max_expansions:
                 result.timed_out = True
+                self._done = True
                 break
-            _, _, partial = heapq.heappop(worklist)
+            if time.monotonic() > deadline:
+                break
+            if max_expansions is not None and slice_expansions >= max_expansions:
+                break
+            _, _, partial = heapq.heappop(self._worklist)
             result.expansions += 1
+            slice_expansions += 1
 
             if is_concrete(partial):
                 regex = to_regex(partial)
-                if self._consistent(regex, examples, rejected_membership):
+                if self._consistent(regex, examples):
                     result.regexes.append(simplify(regex))
                     if len(result.regexes) >= config.max_results:
+                        self._done = True
                         break
                 continue
 
             if is_symbolic(partial):
                 if config.use_symbolic_ints:
-                    for candidate in infer_constants(partial, examples, config, self.solver):
-                        push(candidate)
+                    # Bound the model enumeration by the slice deadline, but
+                    # always allow a small minimum so that very short slices
+                    # still discover the first (smallest) models.
+                    ic_deadline = max(deadline, time.monotonic() + _MIN_SYMBOLIC_SLICE)
+                    for candidate in infer_constants(
+                        partial, examples, config, self.solver, deadline=ic_deadline
+                    ):
+                        self._push(candidate)
                 # Without symbolic integers the expansion already enumerated
                 # concrete constants, so a symbolic partial regex cannot occur.
                 continue
 
             node = open_nodes(partial)[0]
-            for successor in expand(partial, node, config, symints, literal_chars):
+            for successor in expand(partial, node, config, self._symints, self._literal_chars):
                 key = to_debug_string(successor)
-                if key in seen:
+                if key in self._seen:
                     continue
-                seen.add(key)
+                self._seen.add(key)
                 if infeasible(successor, examples, config):
                     result.pruned += 1
                     continue
-                push(successor)
+                self._push(successor)
 
-        result.elapsed = time.monotonic() - start
-        # Prefer smaller regexes among those found.
-        result.regexes.sort(key=lambda regex: _regex_rank(regex))
+        if not self._worklist:
+            self._done = True
+        result.elapsed += time.monotonic() - start
+        # NB: result.regexes is append-only across steps (no re-sorting here);
+        # incremental consumers rely on stable indices to detect new finds.
         return result
 
-    # -- helpers -------------------------------------------------------------
-
-    def _consistent(
-        self, regex: rast.Regex, examples: Examples, rejected: set[str]
-    ) -> bool:
+    def _consistent(self, regex: rast.Regex, examples: Examples) -> bool:
         """Membership check with the subsumption short-cuts of Section 6."""
         config = self.config
+        rejected = self._rejected_membership
         if config.use_subsumption:
             for key in _subsumption_keys(regex):
                 if key in rejected:
@@ -153,6 +196,29 @@ class Synthesizer:
             rejected.add(to_dsl_string(regex))
         return False
 
+
+class Synthesizer:
+    """Sketch-guided PBE engine (one instance per synthesis problem)."""
+
+    def __init__(self, config: Optional[SynthesisConfig] = None):
+        self.config = config or SynthesisConfig()
+        self.solver = Solver()
+
+    # -- public API ----------------------------------------------------------
+
+    def start(self, sketch: sast.Sketch, examples: Examples) -> SynthesisRun:
+        """Begin a resumable search; drive it with :meth:`SynthesisRun.step`."""
+        return SynthesisRun(self, sketch, examples)
+
+    def synthesize(self, sketch: sast.Sketch, examples: Examples) -> SynthesisResult:
+        """Search for regexes that complete ``sketch`` and satisfy ``examples``."""
+        run = self.start(sketch, examples)
+        result = run.step(self.config.timeout)
+        if not run.done:
+            result.timed_out = True
+        # Prefer smaller regexes among those found.
+        result.regexes.sort(key=lambda regex: _regex_rank(regex))
+        return result
 
 def _regex_rank(regex: rast.Regex) -> tuple[int, str]:
     from repro.dsl.simplify import size

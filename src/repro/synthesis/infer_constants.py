@@ -31,6 +31,7 @@ def infer_constants(
     examples: Examples,
     config: SynthesisConfig,
     solver: Solver | None = None,
+    deadline: float | None = None,
 ) -> List[PartialRegex]:
     """Enumerate feasible concretisations of a symbolic regex.
 
@@ -38,8 +39,13 @@ def infer_constants(
     made increasingly concrete one symbolic integer at a time; blocking
     clauses force the solver to produce different values for the chosen
     integer, and partially concretised regexes that the approximation check
-    refutes are dropped together with every extension.
+    refutes are dropped together with every extension.  ``deadline`` (a
+    ``time.monotonic`` timestamp) stops the enumeration early with whatever
+    has been found, so a scheduler's time slice bounds even this, the
+    engine's most expensive single step.
     """
+    import time
+
     solver = solver or Solver()
     formula, domains, _ = constraint_for_examples(partial, examples, config)
     results: List[PartialRegex] = []
@@ -47,21 +53,30 @@ def infer_constants(
     budget = config.max_models_per_symbolic
 
     while worklist and budget > 0:
+        if deadline is not None and time.monotonic() > deadline:
+            break
         current, constraint = worklist.pop()
         kappas = symints_of(current)
         if not kappas:
             continue
         prefer = [kappa.name for kappa in kappas]
         try:
-            model = solver.solve(constraint, domains, prefer=prefer)
+            model = solver.solve(constraint, domains, prefer=prefer, deadline=deadline)
         except RuntimeError:
-            # Step budget exceeded: treat as UNSAT for this branch.
+            # Step or deadline budget exceeded: treat as UNSAT for this branch.
             continue
         if model is None:
             continue
         budget -= 1
         kappa = kappas[0]
-        value = model[kappa.name]
+        value = model.get(kappa.name)
+        if value is None:
+            # The formula does not mention this κ (it can happen that no
+            # positive example pins the length of the branch it occurs in),
+            # so the model omits it; any in-domain value satisfies the
+            # constraint — take the smallest.  The blocking clause below then
+            # introduces the variable, so later models enumerate the rest.
+            value = domains.get(kappa.name, (1, config.max_kappa))[0]
         concretised = substitute_symint(current, kappa.name, value)
 
         # Keep exploring other values of this symbolic integer (blocking clause).

@@ -1,0 +1,427 @@
+"""Tests for the pipeline API: specs, providers, schedulers, sessions, shims."""
+
+import json
+import time
+
+import pytest
+
+from repro.api import (
+    CancelToken,
+    InterleavedScheduler,
+    NlSketchProvider,
+    PbeOnlyProvider,
+    Problem,
+    ProcessPoolScheduler,
+    RunReport,
+    SequentialScheduler,
+    Session,
+    SketchReport,
+    Solution,
+    StaticSketchProvider,
+    make_scheduler,
+)
+from repro.dsl import matches
+from repro.multimodal.regel import Regel, RegelResult, pbe_only_sketches
+from repro.sketch import Hole, parse_sketch
+from repro.synthesis import EngineVariant, SynthesisConfig
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return SynthesisConfig(timeout=6.0, hole_depth=2)
+
+
+THREE_DIGITS = Problem(
+    description="3 digits",
+    positive=["123", "456"],
+    negative=["12", "1234"],
+    k=1,
+    budget=8.0,
+)
+
+
+class TestProblemSpec:
+    def test_json_round_trip(self):
+        problem = Problem(
+            description="3 digits",
+            positive=["123"],
+            negative=["12"],
+            k=2,
+            budget=5.0,
+            variant=EngineVariant.APPROX,
+        )
+        restored = Problem.from_json(problem.to_json())
+        assert restored == problem
+        assert restored.variant is EngineVariant.APPROX
+
+    def test_sequences_are_frozen_tuples(self):
+        problem = Problem("x", positive=["a"], negative=["b"])
+        assert problem.positive == ("a",)
+        assert problem.negative == ("b",)
+        with pytest.raises(AttributeError):
+            problem.k = 5
+
+    def test_variant_accepts_string(self):
+        assert Problem("x", variant="regel-enum").variant is EngineVariant.ENUM
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            Problem("x", k=0)
+        with pytest.raises(ValueError):
+            Problem("x", budget=0)
+
+
+class TestRunReportSerialisation:
+    def test_report_json_round_trip(self):
+        report = RunReport(
+            problem=THREE_DIGITS,
+            scheduler="interleaved",
+            solutions=[Solution(regex="Repeat(<num>,3)", size=2, sketch_index=0, elapsed=0.1)],
+            sketches=[
+                SketchReport(
+                    index=0,
+                    sketch="Repeat(<num>,3)",
+                    expansions=2,
+                    pruned=0,
+                    elapsed=0.05,
+                    solved=True,
+                    timed_out=False,
+                )
+            ],
+            elapsed=0.2,
+        )
+        restored = RunReport.from_json(report.to_json())
+        assert restored.problem == report.problem
+        assert restored.solutions == report.solutions
+        assert restored.sketches == report.sketches
+        assert restored.solved and restored.best.regex == "Repeat(<num>,3)"
+
+    def test_solution_ast_round_trip(self):
+        solution = Solution(regex="Repeat(<num>,3)", size=2, sketch_index=0, elapsed=0.0)
+        assert matches(solution.ast(), "987")
+        assert solution.python_regex() is not None
+
+    def test_solved_report_from_real_run(self, fast_config):
+        session = Session(config=fast_config)
+        report = session.solve(THREE_DIGITS)
+        assert report.solved
+        payload = json.loads(report.to_json())
+        assert payload["solved"] is True
+        assert payload["solutions"][0]["regex"] == report.best.regex
+
+
+class TestProviders:
+    def test_pbe_only_matches_legacy_sketch_list(self):
+        assert PbeOnlyProvider().sketches(THREE_DIGITS) == pbe_only_sketches()
+        assert PbeOnlyProvider().sketches(THREE_DIGITS) == [Hole(())]
+
+    def test_static_provider_parses_strings(self):
+        provider = StaticSketchProvider(["Repeat(<num>,3)", "Hole()"])
+        sketches = provider.sketches(THREE_DIGITS)
+        assert sketches[0] == parse_sketch("Repeat(<num>,3)")
+        assert sketches[1] == Hole(())
+
+    def test_static_provider_accepts_asts(self):
+        provider = StaticSketchProvider([Hole(())])
+        assert provider.sketches(THREE_DIGITS) == [Hole(())]
+
+    def test_static_provider_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StaticSketchProvider([])
+
+    def test_nl_provider_falls_back_without_description(self):
+        provider = NlSketchProvider()
+        assert provider.sketches(Problem("")) == [Hole(())]
+
+    def test_provider_equivalence_pbe(self, fast_config):
+        """PbeOnlyProvider must behave exactly like the legacy sketches= hack."""
+        problem = Problem("", positive=["123", "456"], negative=["12", "abcd"], budget=8.0)
+        via_provider = Session(provider=PbeOnlyProvider(), config=fast_config).solve(problem)
+        with pytest.warns(DeprecationWarning):
+            via_legacy = Regel(config=fast_config).synthesize(
+                "", problem.positive, problem.negative, k=1, time_budget=8.0,
+                sketches=pbe_only_sketches(),
+            )
+        assert via_provider.solved and via_legacy.solved
+        assert via_provider.best.regex == str(via_legacy.best)
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize(
+        "scheduler",
+        [
+            SequentialScheduler(),
+            SequentialScheduler(fair=False),
+            InterleavedScheduler(slice_seconds=0.1),
+            ProcessPoolScheduler(max_workers=2),
+        ],
+        ids=["sequential-fair", "sequential-greedy", "interleaved", "process-pool"],
+    )
+    def test_scheduler_equivalence_on_benchmark_slice(self, scheduler, fast_config):
+        """All schedulers find the same best regex on easy benchmark problems."""
+        session = Session(scheduler=scheduler, config=fast_config)
+        report = session.solve(THREE_DIGITS)
+        assert report.solved, scheduler.name
+        assert report.best.regex == "Repeat(<num>,3)"
+        assert report.scheduler == scheduler.name
+
+    # A pathological first sketch (unconstrained hole at full depth on examples
+    # plain PBE cannot crack quickly) ahead of the trivially checkable target.
+    STARVATION_SKETCHES = [
+        "Hole()",
+        "Concat(Repeat(<cap>,2),Concat(<->,Repeat(<num>,4)))",
+    ]
+    STARVATION_PROBLEM = Problem(
+        description="",
+        positive=["AB-1234", "XY-0001"],
+        negative=["AB1234", "A-1234", "ab-1234", "AB-123"],
+        k=1,
+        budget=1.5,
+    )
+
+    def test_interleaved_solves_what_greedy_sequential_starves(self):
+        """A pathological first sketch must not starve an easy later sketch."""
+        provider = StaticSketchProvider(self.STARVATION_SKETCHES)
+        config = SynthesisConfig(timeout=6.0)  # full hole depth: Hole() is a hog
+        greedy = Session(
+            provider=provider,
+            scheduler=SequentialScheduler(fair=False),
+            config=config,
+        ).solve(self.STARVATION_PROBLEM)
+        assert not greedy.solved, "greedy sequential should starve the easy sketch"
+
+        interleaved = Session(
+            provider=provider,
+            scheduler=InterleavedScheduler(slice_seconds=0.1),
+            config=config,
+        ).solve(self.STARVATION_PROBLEM)
+        assert interleaved.solved
+        assert matches(interleaved.best.ast(), "QQ-4321")
+
+    def test_fair_sequential_reaches_later_sketches(self):
+        """The fair budget fix: later sketches get slices despite a hog."""
+        fair = Session(
+            provider=StaticSketchProvider(self.STARVATION_SKETCHES),
+            scheduler=SequentialScheduler(),
+            config=SynthesisConfig(timeout=6.0),
+        ).solve(self.STARVATION_PROBLEM)
+        assert fair.solved
+        assert fair.sketches_tried == 2
+
+    def test_interleaved_keeps_all_solutions_across_slices(self):
+        """Solutions found in later slices must not be lost to re-ranking."""
+        problem = Problem("", positive=["123", "456"], negative=["12", "1234"], k=3, budget=8.0)
+        config = SynthesisConfig(timeout=6.0, hole_depth=2, max_results=3)
+        provider = StaticSketchProvider(["Hole()"])
+        sequential = Session(
+            provider=provider, scheduler=SequentialScheduler(), config=config
+        ).solve(problem)
+        interleaved = Session(
+            provider=provider,
+            scheduler=InterleavedScheduler(slice_expansions=1),
+            config=config,
+        ).solve(problem)
+        assert [s.regex for s in interleaved.solutions] == [
+            s.regex for s in sequential.solutions
+        ]
+        assert len(interleaved.solutions) == 3
+
+    def test_interleaved_reports_only_attempted_sketches(self, fast_config):
+        """Sketches that never received a slice are not phantom attempts."""
+        provider = StaticSketchProvider(["Repeat(<num>,3)"] + ["Hole()"] * 4)
+        problem = Problem("", positive=["123"], negative=["12"], k=1, budget=8.0)
+        report = Session(
+            provider=provider, scheduler=InterleavedScheduler(), config=fast_config
+        ).solve(problem)
+        assert report.solved
+        assert report.sketches_tried == 1
+        assert all(sketch.expansions > 0 for sketch in report.sketches)
+
+    def test_make_scheduler_registry(self):
+        assert make_scheduler("sequential", fair=False).name == "sequential"
+        assert make_scheduler("interleaved").name == "interleaved"
+        assert make_scheduler("process-pool").name == "process-pool"
+        with pytest.raises(ValueError):
+            make_scheduler("warp-drive")
+
+
+class TestSessionStreaming:
+    def test_first_solution_streams_before_budget(self, fast_config):
+        """iter_solutions yields the quickstart problem long before the budget."""
+        problem = Problem(
+            description="2 letters followed by a dash and then 4 digits",
+            positive=["ab-1234", "xy-0001"],
+            negative=["ab1234", "a-1234", "ab-123"],
+            k=1,
+            budget=15.0,
+        )
+        session = Session(scheduler=InterleavedScheduler(), config=fast_config)
+        start = time.monotonic()
+        first = next(iter(session.iter_solutions(problem)))
+        first_at = time.monotonic() - start
+        assert first_at < problem.budget / 2, "no anytime behaviour"
+        assert matches(first.ast(), "qq-5678")
+
+    def test_closing_the_stream_cancels(self, fast_config):
+        # First solution arrives instantly; the unconstrained hole would keep
+        # the portfolio busy for the rest of the 30s budget — closing the
+        # stream after the first yield must cancel it cooperatively.
+        problem = Problem(
+            description="", positive=["123", "456"], negative=["12"], k=3, budget=30.0
+        )
+        session = Session(
+            provider=StaticSketchProvider(["Repeat(<num>,3)", "Hole()"]),
+            scheduler=InterleavedScheduler(slice_seconds=0.05),
+            config=fast_config,
+        )
+        start = time.monotonic()
+        stream = session.iter_solutions(problem)
+        first = next(stream)
+        stream.close()
+        assert time.monotonic() - start < 10.0
+        assert matches(first.ast(), "555")
+        report = session.last_report
+        assert report is not None and report.cancelled
+        assert len(report.solutions) == 1
+
+    def test_closing_an_unstarted_stream_is_harmless(self, fast_config):
+        session = Session(config=fast_config)
+        stream = session.iter_solutions(THREE_DIGITS)
+        stream.close()  # generator never ran: nothing to cancel, no report
+        assert session.last_report is None
+
+    def test_external_cancel_token(self, fast_config):
+        cancel = CancelToken()
+        cancel.cancel()
+        problem = Problem("", positive=["AB-1234"], negative=["x"], budget=30.0)
+        session = Session(provider=PbeOnlyProvider(), config=fast_config)
+        start = time.monotonic()
+        report = session.solve(problem, cancel=cancel)
+        assert time.monotonic() - start < 10.0
+        assert not report.solved
+
+    def test_k_distinct_solutions(self, fast_config):
+        problem = Problem(
+            description="3 digits",
+            positive=["123", "456"],
+            negative=["12", "1234"],
+            k=3,
+            budget=8.0,
+        )
+        report = Session(config=fast_config).solve(problem)
+        assert 1 <= len(report.solutions) <= 3
+        regexes = [solution.regex for solution in report.solutions]
+        assert len(set(regexes)) == len(regexes)
+        assert all(matches(solution.ast(), "789") for solution in report.solutions)
+
+
+class TestTelemetry:
+    def test_per_sketch_reports_cover_attempted_sketches(self, fast_config):
+        provider = StaticSketchProvider(
+            ["Concat(<a>,<b>)", "Repeat(<num>,3)", "Repeat(<let>,3)"]
+        )
+        problem = Problem("", positive=["123"], negative=["12"], k=1, budget=8.0)
+        report = Session(provider=provider, config=fast_config).solve(problem)
+        assert report.solved
+        # Every attempted sketch is reported, solved or not (historically only
+        # solved sketches were timed, overstating speed).
+        assert report.sketches_tried >= 2
+        solved_flags = [sketch.solved for sketch in report.sketches]
+        assert any(solved_flags) and not all(solved_flags)
+        assert all(sketch.elapsed >= 0.0 for sketch in report.sketches)
+        assert report.total_expansions > 0
+
+    def test_regel_result_tags_solved_sketches(self, fast_config):
+        with pytest.warns(DeprecationWarning):
+            result = Regel(config=fast_config).synthesize(
+                "",
+                positive=["123"],
+                negative=["12"],
+                k=1,
+                time_budget=8.0,
+                sketches=[
+                    parse_sketch("Concat(<a>,<b>)"),
+                    parse_sketch("Repeat(<num>,3)"),
+                ],
+            )
+        assert result.solved
+        assert len(result.per_sketch_times) == result.sketches_tried
+        assert len(result.per_sketch_solved) == result.sketches_tried
+        assert any(result.per_sketch_solved)
+        assert result.solved_sketch_times  # the legacy metric is derivable
+
+
+class TestDeprecationShim:
+    def test_synthesize_warns_and_solves(self, fast_config):
+        tool = Regel(config=fast_config, num_sketches=10)
+        with pytest.warns(DeprecationWarning, match="Session"):
+            result = tool.synthesize(
+                "3 digits", positive=["123"], negative=["12"], k=1, time_budget=8.0
+            )
+        assert isinstance(result, RegelResult)
+        assert result.solved
+        assert matches(result.best, "999")
+
+    def test_empty_sketch_list_returns_unsolved_immediately(self, fast_config):
+        """Historical semantics: sketches=[] means nothing to try."""
+        with pytest.warns(DeprecationWarning):
+            result = Regel(config=fast_config).synthesize(
+                "3 digits", ["123"], ["12"], time_budget=30.0, sketches=[]
+            )
+        assert not result.solved
+        assert result.sketches_tried == 0
+
+    def test_shim_matches_pipeline_output(self, fast_config):
+        problem = THREE_DIGITS
+        report = Session(
+            provider=NlSketchProvider(num_sketches=10),
+            scheduler=InterleavedScheduler(),
+            config=fast_config,
+        ).solve(problem)
+        with pytest.warns(DeprecationWarning):
+            legacy = Regel(config=fast_config, num_sketches=10).synthesize(
+                problem.description,
+                problem.positive,
+                problem.negative,
+                k=problem.k,
+                time_budget=problem.budget,
+            )
+        assert report.best.regex == str(legacy.best)
+
+
+class TestCliJson:
+    def test_solve_json_emits_run_report(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["solve", "3 digits", "--pos", "123", "--neg", "12", "-t", "6", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        report = RunReport.from_json(captured.out)
+        assert report.solved
+        assert report.problem.description == "3 digits"
+
+    def test_batch_mode(self, tmp_path, capsys):
+        from repro.cli import main
+
+        problems = [
+            Problem("3 digits", positive=["123"], negative=["12"], budget=5.0).to_dict(),
+            Problem("2 letters", positive=["ab"], negative=["a"], budget=5.0).to_dict(),
+        ]
+        path = tmp_path / "problems.json"
+        path.write_text(json.dumps(problems))
+        code = main(["batch", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        assert all(RunReport.from_json(line).solved for line in lines)
+
+    def test_legacy_invocation_still_works(self, capsys):
+        from repro.cli import main
+
+        code = main(["3 digits", "--pos", "123", "--neg", "12", "-t", "6"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Repeat" in captured.out or "<num>" in captured.out
