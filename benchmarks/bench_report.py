@@ -1,0 +1,226 @@
+"""Benchmark driver for the PBE engine's hot path.
+
+Runs the same workloads as ``bench_engine_micro.py`` (the approximation
+check, symbolic-constant inference, and the full Section-2 motivating-example
+sketch completion) without requiring pytest-benchmark, and writes the numbers
+to a JSON report (``BENCH_engine.json`` at the repository root by default).
+
+The report accumulates labelled *snapshots* so a before/after trajectory can
+be committed alongside the code that produced it::
+
+    python benchmarks/bench_report.py --label before --out BENCH_engine.json
+    ... change the engine ...
+    python benchmarks/bench_report.py --label after --out BENCH_engine.json \
+        --baseline BENCH_engine.json
+
+When the report contains both a ``before`` and an ``after`` snapshot, a
+``comparison`` section with per-workload speedups is recomputed on every run.
+When the evaluation layer supports selecting the evaluator
+(``Examples(..., evaluator=...)``), the full-sketch workload is additionally
+measured under every evaluator named by ``--modes`` so the legacy recursive
+matcher stays measurable as a reference point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.dsl import Concat, NUM, Optional, RepeatRange, literal
+from repro.sketch import parse_sketch
+from repro.synthesis import (
+    Examples,
+    PLeaf,
+    POp,
+    SymInt,
+    SynthesisConfig,
+    Synthesizer,
+    infeasible,
+    infer_constants,
+    initial_partial,
+)
+
+_POSITIVES = ["123456789.123", "123456789123456.12", "12345.1", "123456789123456"]
+_NEGATIVES = ["1234567891234567", "123.1234", "1.12345", ".1234"]
+_CONFIG = SynthesisConfig(hole_depth=2, timeout=15.0)
+
+_APPROX_SKETCH = "Concat(Hole(<num>,<,>),Hole(RepeatRange(<num>,1,3),<,>))"
+_FULL_SKETCH = (
+    "Concat(Hole(RepeatRange(<num>,1,15)),"
+    "Hole(Optional(Concat(<.>,RepeatRange(<num>,1,3)))))"
+)
+
+
+def _examples(evaluator: str | None) -> Examples:
+    """Build the example set, selecting the evaluator when supported."""
+    if evaluator and "evaluator" in inspect.signature(Examples.__init__).parameters:
+        return Examples(_POSITIVES, _NEGATIVES, evaluator=evaluator)
+    return Examples(_POSITIVES, _NEGATIVES)
+
+
+def _symbolic_partial() -> POp:
+    return POp(
+        "Concat",
+        (
+            POp("RepeatRange", (PLeaf(NUM),), (1, SymInt("k1"))),
+            PLeaf(Optional(Concat(literal("."), RepeatRange(NUM, 1, 3)))),
+        ),
+    )
+
+
+def _time_workload(fn, repeats: int) -> dict:
+    """Run ``fn`` (which returns per-iteration extras) ``repeats`` times."""
+    times = []
+    extras: dict = {}
+    for _ in range(repeats):
+        start = time.perf_counter()
+        extras = fn() or {}
+        times.append(time.perf_counter() - start)
+    return {
+        "seconds_min": min(times),
+        "seconds_mean": statistics.fmean(times),
+        "repeats": repeats,
+        **extras,
+    }
+
+
+def bench_approximation_check(repeats: int, inner: int = 200) -> dict:
+    """Approximation-based pruning check on the Figure-9 initial partial."""
+    examples = _examples(None)
+    partial = initial_partial(parse_sketch(_APPROX_SKETCH))
+
+    def run():
+        for _ in range(inner):
+            assert infeasible(partial, examples, _CONFIG) is False
+        return {"checks_per_iteration": inner}
+
+    entry = _time_workload(run, repeats)
+    entry["seconds_per_check"] = entry["seconds_min"] / inner
+    return entry
+
+
+def bench_constant_inference(repeats: int) -> dict:
+    """Length-constraint encoding + symbolic-integer enumeration (Figure 14)."""
+    examples = _examples(None)
+    partial = _symbolic_partial()
+
+    def run():
+        candidates = infer_constants(partial, examples, _CONFIG)
+        assert candidates
+        return {"candidates": len(candidates)}
+
+    return _time_workload(run, repeats)
+
+
+def bench_full_sketch_completion(repeats: int, evaluator: str | None) -> dict:
+    """Complete the Section-2 motivating-example sketch from scratch."""
+    sketch = parse_sketch(_FULL_SKETCH)
+
+    def run():
+        result = Synthesizer(_CONFIG).synthesize(sketch, _examples(evaluator))
+        assert result.solved
+        return {
+            "expansions": result.expansions,
+            "pruned": result.pruned,
+            "eval_cache_hits": getattr(result, "eval_cache_hits", 0),
+            "eval_cache_misses": getattr(result, "eval_cache_misses", 0),
+            "approx_cache_hits": getattr(result, "approx_cache_hits", 0),
+        }
+
+    entry = _time_workload(run, repeats)
+    entry["expansions_per_sec"] = entry["expansions"] / entry["seconds_min"]
+    return entry
+
+
+def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
+    workloads = {
+        "approximation_check": bench_approximation_check(repeats),
+        "constant_inference": bench_constant_inference(repeats),
+        "full_sketch_completion": bench_full_sketch_completion(repeats, None),
+    }
+    supports_modes = "evaluator" in inspect.signature(Examples.__init__).parameters
+    if supports_modes:
+        for mode in modes:
+            workloads[f"full_sketch_completion[{mode}]"] = bench_full_sketch_completion(
+                repeats, mode
+            )
+    return {
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "workloads": workloads,
+    }
+
+
+def compare(snapshots: list[dict]) -> dict:
+    """Per-workload before/after speedups, when both snapshots are present."""
+    by_label = {snapshot["label"]: snapshot for snapshot in snapshots}
+    if "before" not in by_label or "after" not in by_label:
+        return {}
+    comparison = {}
+    before = by_label["before"]["workloads"]
+    after = by_label["after"]["workloads"]
+    for name in sorted(set(before) & set(after)):
+        old, new = before[name]["seconds_min"], after[name]["seconds_min"]
+        if new > 0:
+            comparison[name] = {
+                "before_seconds": old,
+                "after_seconds": new,
+                "speedup": old / new,
+            }
+    return comparison
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json", type=Path)
+    parser.add_argument("--label", default="after")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="existing report whose snapshots (other labels) are kept",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--modes",
+        default="matchset,recursive",
+        help="comma-separated evaluator modes for the full-sketch workload",
+    )
+    args = parser.parse_args(argv)
+
+    snapshots: list[dict] = []
+    if args.baseline and args.baseline.exists():
+        snapshots = [
+            snapshot
+            for snapshot in json.loads(args.baseline.read_text()).get("snapshots", [])
+            if snapshot["label"] != args.label
+        ]
+
+    modes = [mode for mode in args.modes.split(",") if mode]
+    snapshot = run_snapshot(args.label, args.repeats, modes)
+    snapshots.append(snapshot)
+
+    report = {
+        "schema": 1,
+        "source": "benchmarks/bench_report.py",
+        "snapshots": snapshots,
+        "comparison": compare(snapshots),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, entry in snapshot["workloads"].items():
+        print(f"{name:40s} {entry['seconds_min']*1000:10.2f} ms/iter")
+    for name, entry in report["comparison"].items():
+        print(f"{name:40s} speedup {entry['speedup']:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

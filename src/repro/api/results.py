@@ -81,6 +81,13 @@ class SketchReport:
     solved: bool
     #: Whether the engine was stopped by a budget or expansion cap.
     timed_out: bool
+    #: Match-set evaluation cache hits/misses during this sketch's search
+    #: (zero when the engine ran with the recursive reference evaluator, and
+    #: in reports produced before these counters existed).
+    eval_cache_hits: int = 0
+    eval_cache_misses: int = 0
+    #: Per-subtree approximation cache hits during this sketch's search.
+    approx_cache_hits: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -91,6 +98,9 @@ class SketchReport:
             "elapsed": self.elapsed,
             "solved": self.solved,
             "timed_out": self.timed_out,
+            "eval_cache_hits": self.eval_cache_hits,
+            "eval_cache_misses": self.eval_cache_misses,
+            "approx_cache_hits": self.approx_cache_hits,
         }
 
     @classmethod
@@ -103,6 +113,9 @@ class SketchReport:
             elapsed=data["elapsed"],
             solved=data["solved"],
             timed_out=data["timed_out"],
+            eval_cache_hits=data.get("eval_cache_hits", 0),
+            eval_cache_misses=data.get("eval_cache_misses", 0),
+            approx_cache_hits=data.get("approx_cache_hits", 0),
         )
 
 
@@ -142,6 +155,18 @@ class RunReport:
     @property
     def total_pruned(self) -> int:
         return sum(report.pruned for report in self.sketches)
+
+    @property
+    def total_eval_cache_hits(self) -> int:
+        return sum(report.eval_cache_hits for report in self.sketches)
+
+    @property
+    def eval_cache_hit_rate(self) -> float:
+        """Fraction of evaluation-cache lookups that hit, across all sketches."""
+        hits = self.total_eval_cache_hits
+        misses = sum(report.eval_cache_misses for report in self.sketches)
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -224,6 +224,9 @@ def _solve_sketch_worker(
         "expansions": result.expansions,
         "pruned": result.pruned,
         "elapsed": result.elapsed,
+        "eval_cache_hits": result.eval_cache_hits,
+        "eval_cache_misses": result.eval_cache_misses,
+        "approx_cache_hits": result.approx_cache_hits,
     }
 
 
@@ -296,6 +299,9 @@ class ProcessPoolScheduler:
                         expansions=payload["expansions"],
                         pruned=payload["pruned"],
                         elapsed=payload["elapsed"],
+                        eval_cache_hits=payload.get("eval_cache_hits", 0),
+                        eval_cache_misses=payload.get("eval_cache_misses", 0),
+                        approx_cache_hits=payload.get("approx_cache_hits", 0),
                     )
                     for regex in result.regexes:
                         yield Found(index, regex)

@@ -110,6 +110,9 @@ class Session:
                             elapsed=result.elapsed,
                             solved=result.solved,
                             timed_out=result.timed_out,
+                            eval_cache_hits=result.eval_cache_hits,
+                            eval_cache_misses=result.eval_cache_misses,
+                            approx_cache_hits=result.approx_cache_hits,
                         )
                     )
         except GeneratorExit:

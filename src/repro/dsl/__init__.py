@@ -47,7 +47,7 @@ from repro.dsl.ast import (
     concat_all,
     or_all,
 )
-from repro.dsl.semantics import matches, Matcher
+from repro.dsl.semantics import matches, Matcher, RecursiveMatcher
 from repro.dsl.printer import to_dsl_string, to_python_regex, UnsupportedConstructError
 from repro.dsl.parser import parse_regex, RegexParseError
 from repro.dsl.simplify import size, depth, operators_used, simplify
@@ -88,6 +88,7 @@ __all__ = [
     "or_all",
     "matches",
     "Matcher",
+    "RecursiveMatcher",
     "to_dsl_string",
     "to_python_regex",
     "UnsupportedConstructError",

@@ -1,9 +1,12 @@
 """Abstract syntax tree of the regex DSL (Figure 5 of the paper).
 
-All nodes are immutable and hashable so they can be freely used as
-dictionary keys, memoisation keys, and members of worklists during
-synthesis.  Constructors perform light validation (e.g. the ``Repeat``
-family requires positive integer arguments, as the paper mandates).
+All nodes are immutable, hashable, and **hash-consed**: constructing a node
+whose field values equal an existing node's returns that existing (canonical)
+object, so structural equality coincides with identity (see
+:mod:`repro.dsl.intern`).  This is what lets the evaluation layer memoise
+per ``(node, subject)`` and get cache hits across candidate regexes.
+Constructors perform light validation (e.g. the ``Repeat`` family requires
+positive integer arguments, as the paper mandates).
 """
 
 from __future__ import annotations
@@ -12,9 +15,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.dsl.charclass import CharClassKind, class_display, literal_kind
+from repro.dsl.intern import InternedMeta, freeze_interned
 
 
-class Regex:
+class Regex(metaclass=InternedMeta):
     """Base class for every node of the regex DSL."""
 
     __slots__ = ()
@@ -206,6 +210,32 @@ class RepeatRange(Regex):
 
     def children(self) -> tuple[Regex, ...]:
         return (self.arg,)
+
+
+#: Every concrete node class, in definition order (used for interning setup
+#: and by generic tooling such as the property-test regex generator).
+NODE_CLASSES = (
+    CharClass,
+    Epsilon,
+    EmptySet,
+    StartsWith,
+    EndsWith,
+    Contains,
+    Not,
+    Optional,
+    KleeneStar,
+    Concat,
+    Or,
+    And,
+    Repeat,
+    RepeatAtLeast,
+    RepeatRange,
+)
+
+# Replace the dataclass-generated structural __eq__/__hash__ with the O(1)
+# interned versions.  This must happen before the first node is constructed
+# (i.e. before the singletons below).
+freeze_interned(*NODE_CLASSES)
 
 
 # ---------------------------------------------------------------------------

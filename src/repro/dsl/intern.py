@@ -1,0 +1,101 @@
+"""Hash-consing (structural interning) for immutable AST node classes.
+
+The PBE engine's hot path is dominated by membership queries whose results
+are memoised per AST node.  Before interning, structurally identical regexes
+built at different times (most notably the over-/under-approximations that
+:func:`repro.synthesis.approximate.approximate_partial` constructs on every
+pruning check) were distinct objects, so no memo entry was ever shared and
+id-keyed caches needed keep-alive lists to stay sound.
+
+:class:`InternedMeta` fixes this at the construction site: every call to an
+interned dataclass constructor returns *the* canonical instance for its field
+values, so structural equality coincides with object identity.  That makes
+
+* equality O(1) (identity),
+* hashing O(1) (cached at interning time),
+* and any ``dict``/``set`` keyed by nodes automatically shared across all
+  producers of equal structure — across candidates, across ``infeasible``
+  calls, and across worklist generations.
+
+The intern tables hold their values weakly, so nodes are reclaimed once the
+last external reference dies; caches keyed by nodes should likewise use weak
+keys (or live on objects with a bounded lifetime, like a per-subject matcher).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Tuple
+
+
+class InternedMeta(type):
+    """Metaclass interning every instance of its (frozen-dataclass) classes.
+
+    Construction runs the class's normal ``__init__``/``__post_init__``
+    (validation and argument normalisation included), then the canonical
+    instance for the resulting field values is looked up; the freshly built
+    object is discarded in favour of the canonical one when it already
+    exists.  Field values must be hashable — which the AST invariantly
+    guarantees (children are themselves interned, integer arguments and
+    labels are immutable).
+    """
+
+    def __new__(mcls, name, bases, namespace, **kwargs):
+        cls = super().__new__(mcls, name, bases, namespace, **kwargs)
+        cls._intern_table = weakref.WeakValueDictionary()
+        return cls
+
+    def __call__(cls, *args: Any, **kwargs: Any):
+        candidate = super().__call__(*args, **kwargs)
+        fields = getattr(cls, "__dataclass_fields__", None)
+        if fields is None:  # abstract bases are never interned
+            return candidate
+        key = tuple(getattr(candidate, name) for name in fields)
+        table = cls._intern_table
+        canonical = table.get(key)
+        if canonical is not None:
+            return canonical
+        object.__setattr__(candidate, "_hash", hash((cls, key)))
+        table[key] = candidate
+        return candidate
+
+
+def _interned_hash(self) -> int:
+    return self._hash
+
+
+def _interned_eq(self, other) -> bool:
+    # Interning guarantees equal structure <=> same object (pickling included,
+    # see _interned_reduce), so identity is a sound and O(1) equality.
+    return self is other
+
+
+def _interned_ne(self, other) -> bool:
+    return self is not other
+
+
+def _interned_reduce(self) -> Tuple[type, tuple]:
+    # Reconstruct through the constructor so unpickling re-interns: field
+    # order matches the constructors' positional arguments for every AST node.
+    cls = type(self)
+    return cls, tuple(getattr(self, name) for name in cls.__dataclass_fields__)
+
+
+def freeze_interned(*classes: type) -> None:
+    """Install identity equality, cached hashing, and re-interning pickling.
+
+    Must run after the ``@dataclass`` decorators (which generate structural
+    ``__eq__``/``__hash__`` that this replaces) and **before** the first
+    instance is created, so that the intern tables only ever see the cached
+    hash function.
+    """
+    for cls in classes:
+        cls.__hash__ = _interned_hash
+        cls.__eq__ = _interned_eq
+        cls.__ne__ = _interned_ne
+        cls.__reduce__ = _interned_reduce
+
+
+def intern_table_sizes(*classes: type) -> dict:
+    """Live canonical-instance counts per class (diagnostics / tests)."""
+    return {cls.__name__: len(cls._intern_table) for cls in classes}

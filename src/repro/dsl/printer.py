@@ -14,6 +14,7 @@ Two output formats are supported:
 from __future__ import annotations
 
 import re as _re
+import weakref
 
 from repro.dsl import ast
 from repro.dsl.charclass import CharClassKind
@@ -26,9 +27,25 @@ class UnsupportedConstructError(Exception):
 #: Literal characters rendered with a readable name (kept in sync with the parser).
 _NAMED_LITERAL_DISPLAY = {" ": "<space>", "\t": "<tab>"}
 
+#: Rendered notation per interned node (weak keys: the cache follows the AST).
+_DSL_STRING_CACHE: "weakref.WeakKeyDictionary[ast.Regex, str]" = weakref.WeakKeyDictionary()
+
 
 def to_dsl_string(regex: ast.Regex) -> str:
-    """Render a regex in the paper's DSL notation."""
+    """Render a regex in the paper's DSL notation.
+
+    Because nodes are hash-consed, the rendering is memoised per node (and
+    therefore per shared subtree), which matters to result ranking and report
+    serialisation on large candidate sets.
+    """
+    cached = _DSL_STRING_CACHE.get(regex)
+    if cached is None:
+        cached = _render_dsl_string(regex)
+        _DSL_STRING_CACHE[regex] = cached
+    return cached
+
+
+def _render_dsl_string(regex: ast.Regex) -> str:
     if isinstance(regex, ast.CharClass):
         if isinstance(regex.kind, str) and regex.kind in _NAMED_LITERAL_DISPLAY:
             return _NAMED_LITERAL_DISPLAY[regex.kind]

@@ -1,28 +1,208 @@
 """Exact matching semantics of the regex DSL (Figure 6 of the paper).
 
-The matcher evaluates ``[[r]](s)`` directly on the AST with memoisation over
-``(node, start, end)`` sub-problems.  Because the DSL includes ``Not`` and
-``And``, a direct boolean evaluation is both simpler and faster than going
-through automata for the short example strings used during synthesis; the
-automata-based evaluation in :mod:`repro.automata` is used when language-level
-reasoning (complement, equivalence, sampling) is needed.
+Two evaluators implement ``[[r]](s)``:
+
+* :class:`Matcher` — the default **match-set** evaluator.  For each regex
+  node it computes, bottom-up and exactly once per ``(node, subject)`` pair,
+  the complete relation "``s[i:j]`` matches the node" as one integer bitmask
+  of end positions ``j`` per start index ``i``.  Boolean connectives
+  (``Or``/``And``/``Not``) become bitwise operations on whole rows,
+  ``Concat``/``KleeneStar``/the ``Repeat`` family become span composition,
+  and ``StartsWith``/``EndsWith``/``Contains`` are O(1) mask tests per row.
+  Because DSL nodes are hash-consed (:mod:`repro.dsl.intern`), structurally
+  equal sub-regexes are the *same* object and share one table entry across
+  all candidate regexes evaluated against the subject — which is the access
+  pattern of the PBE engine (thousands of candidates, a handful of example
+  strings).
+* :class:`RecursiveMatcher` — the original per-``(node, i, j)`` boolean
+  recursion, kept verbatim as an executable reference oracle for the
+  evaluator-equivalence property tests and as the ``evaluator="recursive"``
+  mode of :class:`repro.synthesis.examples.Examples`.
+
+Automata-based evaluation (:mod:`repro.automata`) remains the tool for
+language-level reasoning (complement, equivalence, sampling).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.dsl import ast
 from repro.dsl.charclass import chars_of
 
 
-class Matcher:
-    """Memoised matcher for one subject string.
+def _lowest_bit_index(mask: int) -> int:
+    return (mask & -mask).bit_length() - 1
 
-    A :class:`Matcher` is specialised to a single string ``s`` and can answer
-    ``[[r]](s[i:j])`` queries for many regexes; the memo table is shared across
-    queries, which is the common access pattern of the PBE engine (many
-    candidate regexes evaluated against the same handful of examples).
+
+class Matcher:
+    """Match-set evaluator specialised to a single subject string.
+
+    A :class:`Matcher` can answer ``[[r]](s[i:j])`` queries for many regexes;
+    the per-node match-set table is shared across queries.  ``cache_hits`` /
+    ``cache_misses`` count node-table lookups and are surfaced through the
+    engine's telemetry (:class:`repro.api.results.SketchReport`).
+    """
+
+    __slots__ = ("subject", "cache_hits", "cache_misses", "_n", "_sets", "_full")
+
+    def __init__(self, subject: str):
+        self.subject = subject
+        n = len(subject)
+        self._n = n
+        #: node -> list of bitmasks; row ``i`` has bit ``j`` set iff
+        #: ``subject[i:j]`` matches the node (invariant: only bits ``>= i``).
+        self._sets: Dict[ast.Regex, List[int]] = {}
+        all_bits = (1 << (n + 1)) - 1
+        self._full = [all_bits & ~((1 << i) - 1) for i in range(n + 1)]
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def matches(self, regex: ast.Regex) -> bool:
+        """Return True iff ``regex`` matches the whole subject string."""
+        return bool((self.match_sets(regex)[0] >> self._n) & 1)
+
+    def matches_span(self, regex: ast.Regex, i: int, j: int) -> bool:
+        """Return True iff ``regex`` matches ``subject[i:j]``."""
+        return bool((self.match_sets(regex)[i] >> j) & 1)
+
+    def match_sets(self, regex: ast.Regex) -> List[int]:
+        """The full match-set table of ``regex`` (do not mutate)."""
+        sets = self._sets.get(regex)
+        if sets is not None:
+            self.cache_hits += 1
+            return sets
+        self.cache_misses += 1
+        sets = self._compute(regex)
+        self._sets[regex] = sets
+        return sets
+
+    # -- internal ----------------------------------------------------------
+
+    def _compute(self, regex: ast.Regex) -> List[int]:
+        n = self._n
+        if isinstance(regex, ast.CharClass):
+            chars = chars_of(regex.kind)
+            subject = self.subject
+            out = [0] * (n + 1)
+            for i in range(n):
+                if subject[i] in chars:
+                    out[i] = 1 << (i + 1)
+            return out
+        if isinstance(regex, ast.Epsilon):
+            return [1 << i for i in range(n + 1)]
+        if isinstance(regex, ast.EmptySet):
+            return [0] * (n + 1)
+        if isinstance(regex, ast.StartsWith):
+            # s[i:j] has a matching prefix iff the child's shortest match end
+            # from i is <= j: a full tail-mask starting at that end position.
+            child = self.match_sets(regex.arg)
+            full = self._full
+            return [full[_lowest_bit_index(m)] if m else 0 for m in child]
+        if isinstance(regex, ast.EndsWith):
+            # s[i:j] has a matching suffix iff some child match (k, j) exists
+            # with k >= i: the suffix-OR of the child's rows.
+            child = self.match_sets(regex.arg)
+            out = [0] * (n + 1)
+            acc = 0
+            for i in range(n, -1, -1):
+                acc |= child[i]
+                out[i] = acc
+            return out
+        if isinstance(regex, ast.Contains):
+            # s[i:j] has a matching substring iff the earliest child match end
+            # over all starts >= i is <= j.
+            child = self.match_sets(regex.arg)
+            full = self._full
+            out = [0] * (n + 1)
+            acc = 0
+            for i in range(n, -1, -1):
+                acc |= child[i]
+                if acc:
+                    out[i] = full[_lowest_bit_index(acc)]
+            return out
+        if isinstance(regex, ast.Not):
+            child = self.match_sets(regex.arg)
+            full = self._full
+            return [full[i] & ~child[i] for i in range(n + 1)]
+        if isinstance(regex, ast.Optional):
+            child = self.match_sets(regex.arg)
+            return [child[i] | (1 << i) for i in range(n + 1)]
+        if isinstance(regex, ast.KleeneStar):
+            return self._star(self.match_sets(regex.arg))
+        if isinstance(regex, ast.Concat):
+            return self._compose(
+                self.match_sets(regex.left), self.match_sets(regex.right)
+            )
+        if isinstance(regex, ast.Or):
+            left = self.match_sets(regex.left)
+            right = self.match_sets(regex.right)
+            return [left[i] | right[i] for i in range(n + 1)]
+        if isinstance(regex, ast.And):
+            left = self.match_sets(regex.left)
+            right = self.match_sets(regex.right)
+            return [left[i] & right[i] for i in range(n + 1)]
+        if isinstance(regex, ast.Repeat):
+            # Computed as Repeat(r, c-1) . r so every power is itself an
+            # interned node with a cached table: a RepeatRange sweep (and any
+            # candidate family differing only in counts) reuses all of them.
+            if regex.count == 1:
+                return self.match_sets(regex.arg)
+            prev = self.match_sets(ast.Repeat(regex.arg, regex.count - 1))
+            return self._compose(prev, self.match_sets(regex.arg))
+        if isinstance(regex, ast.RepeatAtLeast):
+            # RepeatAtLeast(r, c) == Concat(Repeat(r, c), KleeneStar(r)).
+            prefix = (
+                self.match_sets(ast.Repeat(regex.arg, regex.count))
+                if regex.count > 1
+                else self.match_sets(regex.arg)
+            )
+            return self._compose(prefix, self.match_sets(ast.KleeneStar(regex.arg)))
+        if isinstance(regex, ast.RepeatRange):
+            out = list(self.match_sets(ast.Repeat(regex.arg, regex.low)))
+            for count in range(regex.low + 1, regex.high + 1):
+                rep = self.match_sets(ast.Repeat(regex.arg, count))
+                out = [a | b for a, b in zip(out, rep)]
+            return out
+        raise TypeError(f"unknown regex node: {regex!r}")
+
+    def _compose(self, left: List[int], right: List[int]) -> List[int]:
+        """Span composition: out[i] bit j iff some k has left[i] bit k and right[k] bit j."""
+        out = [0] * (self._n + 1)
+        for i in range(self._n, -1, -1):
+            mask = left[i]
+            acc = 0
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                acc |= right[low.bit_length() - 1]
+            out[i] = acc
+        return out
+
+    def _star(self, child: List[int]) -> List[int]:
+        """Reflexive-transitive closure of ``child`` steps (non-empty pieces)."""
+        n = self._n
+        out = [0] * (n + 1)
+        out[n] = 1 << n
+        for i in range(n - 1, -1, -1):
+            acc = 1 << i
+            mask = child[i] & ~(1 << i)  # empty pieces add nothing
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                acc |= out[low.bit_length() - 1]
+            out[i] = acc
+        return out
+
+
+class RecursiveMatcher:
+    """The original memoised boolean recursion (reference oracle).
+
+    Kept byte-for-byte equivalent to the pre-match-set implementation: memo
+    keys use ``id(node)`` with a keep-alive list, and each ``(node, i, j)``
+    sub-problem is decided independently.  Use :class:`Matcher` in production
+    code; this class exists for differential testing and as the
+    ``evaluator="recursive"`` baseline of the benchmark driver.
     """
 
     def __init__(self, subject: str):

@@ -27,7 +27,12 @@ from repro.synthesis.partial import (
     symints_of,
 )
 from repro.synthesis.expand import expand, initial_partial
-from repro.synthesis.approximate import approximate_partial, approximate_sketch, infeasible
+from repro.synthesis.approximate import (
+    APPROX_CACHE_STATS,
+    approximate_partial,
+    approximate_sketch,
+    infeasible,
+)
 from repro.synthesis.encode import encode_partial, constraint_for_examples
 from repro.synthesis.infer_constants import infer_constants
 from repro.synthesis.engine import Synthesizer, SynthesisResult, SynthesisRun, synthesize
@@ -52,6 +57,7 @@ __all__ = [
     "symints_of",
     "expand",
     "initial_partial",
+    "APPROX_CACHE_STATS",
     "approximate_partial",
     "approximate_sketch",
     "infeasible",

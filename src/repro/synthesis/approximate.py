@@ -9,7 +9,8 @@ enumerating its completions (Theorem 4.4).
 
 from __future__ import annotations
 
-from typing import Tuple
+import weakref
+from typing import Dict, Tuple
 
 from repro.dsl import ast as rast
 from repro.sketch import ast as sast
@@ -84,8 +85,52 @@ def _approximate_hole(components: tuple[sast.Sketch, ...], depth: int) -> Approx
 # Partial-regex approximation (Figure 11)
 # ---------------------------------------------------------------------------
 
+class ApproxCacheStats:
+    """Global hit/miss counters for the per-subtree approximation cache."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return self.hits, self.misses
+
+
+APPROX_CACHE_STATS = ApproxCacheStats()
+
+#: ``(over, under)`` per interned partial-regex subtree, keyed weakly so the
+#: cache dies with the search states.  Because expansion rebuilds only the
+#: spine from the expanded node to the root (see
+#: :func:`repro.synthesis.partial.replace_node`), every off-spine subtree of a
+#: successor is the *same object* as in its parent and hits this cache — the
+#: approximation becomes incremental in the depth of the expanded node.
+_PARTIAL_CACHE: "weakref.WeakKeyDictionary[PartialRegex, Dict[int, Approximation]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def approximate_partial(partial: PartialRegex, hole_depth: int = 3) -> Approximation:
-    """Over-/under-approximation ``(o, u)`` of a partial regex."""
+    """Over-/under-approximation ``(o, u)`` of a partial regex (cached)."""
+    per_depth = _PARTIAL_CACHE.get(partial)
+    if per_depth is not None:
+        cached = per_depth.get(hole_depth)
+        if cached is not None:
+            APPROX_CACHE_STATS.hits += 1
+            return cached
+    APPROX_CACHE_STATS.misses += 1
+    result = _approximate_partial_uncached(partial, hole_depth)
+    if per_depth is None:
+        per_depth = {}
+        _PARTIAL_CACHE[partial] = per_depth
+    per_depth[hole_depth] = result
+    return result
+
+
+def _approximate_partial_uncached(
+    partial: PartialRegex, hole_depth: int
+) -> Approximation:
     if isinstance(partial, PLeaf):
         return partial.regex, partial.regex
     if isinstance(partial, POpen):

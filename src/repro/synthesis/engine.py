@@ -21,10 +21,11 @@ from itertools import count
 from typing import List, Optional
 
 from repro.dsl import ast as rast
-from repro.dsl.simplify import simplify
+from repro.dsl.printer import to_dsl_string
+from repro.dsl.simplify import simplify, size as regex_size
 from repro.sketch import ast as sast
 from repro.solver import Solver
-from repro.synthesis.approximate import infeasible
+from repro.synthesis.approximate import APPROX_CACHE_STATS, infeasible
 from repro.synthesis.config import EngineVariant, SynthesisConfig
 from repro.synthesis.examples import Examples
 from repro.synthesis.expand import SymIntFactory, expand, initial_partial
@@ -35,7 +36,6 @@ from repro.synthesis.partial import (
     is_symbolic,
     open_nodes,
     partial_size,
-    to_debug_string,
     to_regex,
 )
 
@@ -59,6 +59,11 @@ class SynthesisResult:
     pruned: int = 0
     #: Wall-clock time spent, in seconds.
     elapsed: float = 0.0
+    #: Match-set evaluation cache hits/misses attributed to this run.
+    eval_cache_hits: int = 0
+    eval_cache_misses: int = 0
+    #: Per-subtree approximation cache hits attributed to this run.
+    approx_cache_hits: int = 0
 
     @property
     def solved(self) -> bool:
@@ -91,8 +96,16 @@ class SynthesisRun:
         self._symints = SymIntFactory()
         self._counter = count()
         self._worklist: list[tuple[int, int, PartialRegex]] = []
-        self._seen: set[str] = set()
-        self._rejected_membership: set[str] = set()
+        # Hash-consing makes structurally equal partials the same object, so
+        # worklist dedup is a set of interned nodes (no string rendering).
+        self._seen: set[PartialRegex] = set()
+        # Membership-rejection store for the Section 6 subsumption short-cuts,
+        # restructured for O(1) checks: rejected regexes (interned nodes), the
+        # arguments of rejected Contains nodes, and the per-argument minimum
+        # rejected RepeatAtLeast count.
+        self._rejected: set[rast.Regex] = set()
+        self._rejected_contains: set[rast.Regex] = set()
+        self._rejected_atleast: dict[rast.Regex, int] = {}
         self._done = False
         self._push(initial_partial(sketch))
 
@@ -122,6 +135,8 @@ class SynthesisRun:
         start = time.monotonic()
         deadline = start + budget
         slice_expansions = 0
+        eval_hits_base, eval_misses_base = examples.eval_cache_stats()
+        approx_hits_base = APPROX_CACHE_STATS.hits
 
         while self._worklist and not self._done:
             if result.expansions >= config.max_expansions:
@@ -161,10 +176,9 @@ class SynthesisRun:
 
             node = open_nodes(partial)[0]
             for successor in expand(partial, node, config, self._symints, self._literal_chars):
-                key = to_debug_string(successor)
-                if key in self._seen:
+                if successor in self._seen:
                     continue
-                self._seen.add(key)
+                self._seen.add(successor)
                 if infeasible(successor, examples, config):
                     result.pruned += 1
                     continue
@@ -173,27 +187,48 @@ class SynthesisRun:
         if not self._worklist:
             self._done = True
         result.elapsed += time.monotonic() - start
+        eval_hits, eval_misses = examples.eval_cache_stats()
+        result.eval_cache_hits += eval_hits - eval_hits_base
+        result.eval_cache_misses += eval_misses - eval_misses_base
+        result.approx_cache_hits += APPROX_CACHE_STATS.hits - approx_hits_base
         # NB: result.regexes is append-only across steps (no re-sorting here);
         # incremental consumers rely on stable indices to detect new finds.
         return result
 
     def _consistent(self, regex: rast.Regex, examples: Examples) -> bool:
-        """Membership check with the subsumption short-cuts of Section 6."""
+        """Membership check with the subsumption short-cuts of Section 6.
+
+        Section 6 ("Eliminating membership queries"): if ``Contains(r)``
+        rejects a positive example then so do ``StartsWith(r)`` and
+        ``EndsWith(r)``; if ``RepeatAtLeast(r, k)`` rejects a positive example
+        then so does ``RepeatAtLeast(r, k')`` for every ``k' >= k``.  The
+        rejection store is keyed by interned nodes (plus a per-argument count
+        threshold for the ``RepeatAtLeast`` family), so each check is O(1)
+        instead of printing O(k) candidate strings.
+        """
         config = self.config
-        rejected = self._rejected_membership
         if config.use_subsumption:
-            for key in _subsumption_keys(regex):
-                if key in rejected:
+            if regex in self._rejected:
+                return False
+            if (
+                isinstance(regex, (rast.StartsWith, rast.EndsWith))
+                and regex.arg in self._rejected_contains
+            ):
+                return False
+            if isinstance(regex, rast.RepeatAtLeast):
+                threshold = self._rejected_atleast.get(regex.arg)
+                if threshold is not None and regex.count >= threshold:
                     return False
         if examples.consistent(regex):
             return True
         if config.use_subsumption and not examples.accepts_all_positive(regex):
-            # Record the rejection under the regex's own key only; the
-            # *checking* side consults the keys of more general regexes whose
-            # rejection implies this one (see _subsumption_keys).
-            from repro.dsl.printer import to_dsl_string
-
-            rejected.add(to_dsl_string(regex))
+            self._rejected.add(regex)
+            if isinstance(regex, rast.Contains):
+                self._rejected_contains.add(regex.arg)
+            elif isinstance(regex, rast.RepeatAtLeast):
+                previous = self._rejected_atleast.get(regex.arg)
+                if previous is None or regex.count < previous:
+                    self._rejected_atleast[regex.arg] = regex.count
         return False
 
 
@@ -221,33 +256,7 @@ class Synthesizer:
         return result
 
 def _regex_rank(regex: rast.Regex) -> tuple[int, str]:
-    from repro.dsl.simplify import size
-    from repro.dsl.printer import to_dsl_string
-
-    return size(regex), to_dsl_string(regex)
-
-
-def _subsumption_keys(regex: rast.Regex) -> list[str]:
-    """Keys of regexes whose positive-example rejection implies this one's.
-
-    Section 6 ("Eliminating membership queries"): if ``Contains(r)`` rejects a
-    positive example then so do ``StartsWith(r)`` and ``EndsWith(r)``; if
-    ``RepeatAtLeast(r, k)`` rejects a positive example then so does
-    ``RepeatAtLeast(r, k')`` for every ``k' >= k``.  Rejections are recorded
-    under the failing regex's own key; these are the keys consulted before a
-    new membership query is issued.
-    """
-    from repro.dsl.printer import to_dsl_string
-
-    keys = [to_dsl_string(regex)]
-    if isinstance(regex, (rast.StartsWith, rast.EndsWith)):
-        keys.append(to_dsl_string(rast.Contains(regex.arg)))
-    if isinstance(regex, rast.RepeatAtLeast):
-        keys.extend(
-            to_dsl_string(rast.RepeatAtLeast(regex.arg, smaller))
-            for smaller in range(1, regex.count)
-        )
-    return keys
+    return regex_size(regex), to_dsl_string(regex)
 
 
 def synthesize(

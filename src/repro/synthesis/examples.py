@@ -2,24 +2,44 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Sequence, Tuple, Union
 
 from repro.dsl import ast
-from repro.dsl.semantics import Matcher
+from repro.dsl.semantics import Matcher, RecursiveMatcher
+
+#: Evaluator registry for :class:`Examples`; ``matchset`` is the production
+#: default, ``recursive`` keeps the original boolean recursion available as a
+#: reference baseline (used by the benchmark driver and differential tests).
+EVALUATORS = {
+    "matchset": Matcher,
+    "recursive": RecursiveMatcher,
+}
 
 
 class Examples:
     """A set of positive and negative string examples.
 
-    Membership checks reuse one :class:`~repro.dsl.semantics.Matcher` per
-    example string, so evaluating thousands of candidate regexes against the
-    same examples shares the memoised sub-results.
+    Membership checks reuse one matcher per example string, so evaluating
+    thousands of candidate regexes against the same examples shares the
+    memoised per-node match sets.  ``evaluator`` selects the evaluation
+    strategy (see :data:`EVALUATORS`); equality and hashing deliberately
+    ignore it — it changes performance, not semantics.
     """
 
-    def __init__(self, positive: Iterable[str], negative: Iterable[str]):
+    def __init__(
+        self,
+        positive: Iterable[str],
+        negative: Iterable[str],
+        evaluator: str = "matchset",
+    ):
         self.positive: tuple[str, ...] = tuple(positive)
         self.negative: tuple[str, ...] = tuple(negative)
-        self._matchers: Dict[str, Matcher] = {}
+        if evaluator not in EVALUATORS:
+            raise ValueError(
+                f"unknown evaluator {evaluator!r}; expected one of {sorted(EVALUATORS)}"
+            )
+        self.evaluator = evaluator
+        self._matchers: Dict[str, Union[Matcher, RecursiveMatcher]] = {}
 
     def __repr__(self) -> str:
         return f"Examples(positive={list(self.positive)!r}, negative={list(self.negative)!r})"
@@ -32,10 +52,10 @@ class Examples:
     def __hash__(self) -> int:
         return hash((self.positive, self.negative))
 
-    def matcher(self, text: str) -> Matcher:
+    def matcher(self, text: str) -> Union[Matcher, RecursiveMatcher]:
         matcher = self._matchers.get(text)
         if matcher is None:
-            matcher = Matcher(text)
+            matcher = EVALUATORS[self.evaluator](text)
             self._matchers[text] = matcher
         return matcher
 
@@ -55,6 +75,19 @@ class Examples:
     def rejects_all_negative(self, regex: ast.Regex) -> bool:
         return not any(self.matches(regex, s) for s in self.negative)
 
+    def eval_cache_stats(self) -> Tuple[int, int]:
+        """Aggregate ``(hits, misses)`` of the per-node evaluation caches.
+
+        The recursive evaluator does not track per-node statistics; its
+        matchers simply contribute zero.
+        """
+        hits = 0
+        misses = 0
+        for matcher in self._matchers.values():
+            hits += getattr(matcher, "cache_hits", 0)
+            misses += getattr(matcher, "cache_misses", 0)
+        return hits, misses
+
     def extended(
         self, extra_positive: Sequence[str] = (), extra_negative: Sequence[str] = ()
     ) -> "Examples":
@@ -62,6 +95,7 @@ class Examples:
         return Examples(
             tuple(dict.fromkeys([*self.positive, *extra_positive])),
             tuple(dict.fromkeys([*self.negative, *extra_negative])),
+            evaluator=self.evaluator,
         )
 
     def literal_characters(self) -> str:

@@ -17,6 +17,7 @@ the inference rules of Figure 10:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import count
 from typing import Callable, Iterable, List
 
@@ -73,6 +74,13 @@ def default_char_classes(literal_chars: str = "") -> list[rast.Regex]:
     move for keeping the constant space finite and matches how Regel's
     implementation seeds constants.
     """
+    return list(_default_char_classes(literal_chars))
+
+
+@lru_cache(maxsize=128)
+def _default_char_classes(literal_chars: str) -> tuple[rast.Regex, ...]:
+    # Cached per literal-character string: this runs for every free-position
+    # expansion, which is one of the engine's hottest loops.
     leaves: list[rast.Regex] = [
         rast.NUM,
         rast.LET,
@@ -91,7 +99,7 @@ def default_char_classes(literal_chars: str = "") -> list[rast.Regex]:
             continue
         seen.add(char)
         leaves.append(rast.literal(char))
-    return leaves
+    return tuple(leaves)
 
 
 def initial_partial(sketch: sast.Sketch) -> POpen:

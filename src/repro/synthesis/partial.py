@@ -18,10 +18,13 @@ still contains symbolic integers.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 from repro.dsl import ast as rast
+from repro.dsl.intern import InternedMeta, freeze_interned
+from repro.dsl.simplify import size as _regex_size
 from repro.sketch import ast as sast
 
 
@@ -51,8 +54,17 @@ class FreeLabel:
 Label = Union[sast.Sketch, HoleLabel, FreeLabel]
 
 
-class PartialRegex:
-    """Base class of partial-regex nodes."""
+class PartialRegex(metaclass=InternedMeta):
+    """Base class of partial-regex nodes.
+
+    Like DSL regexes, partial regexes are hash-consed: structurally equal
+    partials are the same object, so worklist dedup is a set-of-objects test
+    and per-subtree caches (sizes, approximations) are shared across the
+    whole search.  One consequence: the *same* open node object can occur at
+    several positions of one partial regex (e.g. the two free sibling
+    positions of a ``Concat`` expansion), which is why replacement below is
+    positional (leftmost occurrence) rather than replace-all-by-identity.
+    """
 
     __slots__ = ()
 
@@ -86,6 +98,9 @@ class POp(PartialRegex):
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "children", tuple(children))
         object.__setattr__(self, "ints", tuple(ints))
+
+
+freeze_interned(PLeaf, POpen, POp)
 
 
 # ---------------------------------------------------------------------------
@@ -126,17 +141,26 @@ def is_symbolic(partial: PartialRegex) -> bool:
     return not open_nodes(partial) and bool(symints_of(partial))
 
 
+#: Cached sizes per interned subtree; weak keys so the cache cannot outlive
+#: the search states it describes.
+_SIZE_CACHE: "weakref.WeakKeyDictionary[PartialRegex, int]" = weakref.WeakKeyDictionary()
+
+
 def partial_size(partial: PartialRegex) -> int:
     """Number of nodes (used by the search priority)."""
-    from repro.dsl.simplify import size as regex_size
-
+    cached = _SIZE_CACHE.get(partial)
+    if cached is not None:
+        return cached
     if isinstance(partial, PLeaf):
-        return regex_size(partial.regex)
-    if isinstance(partial, POpen):
-        return 1
-    if isinstance(partial, POp):
-        return 1 + sum(partial_size(child) for child in partial.children)
-    raise TypeError(f"unknown partial regex node: {partial!r}")
+        result = _regex_size(partial.regex)
+    elif isinstance(partial, POpen):
+        result = 1
+    elif isinstance(partial, POp):
+        result = 1 + sum(partial_size(child) for child in partial.children)
+    else:
+        raise TypeError(f"unknown partial regex node: {partial!r}")
+    _SIZE_CACHE[partial] = result
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -188,19 +212,35 @@ def substitute_symint(partial: PartialRegex, name: str, value: int) -> PartialRe
 
 
 def replace_node(partial: PartialRegex, target: POpen, replacement: PartialRegex) -> PartialRegex:
-    """Replace one specific open node (by identity) with a new subtree."""
+    """Replace the leftmost (pre-order first) occurrence of ``target``.
+
+    With hash-consing, structurally equal open nodes are the same object and
+    may occur at several positions; replacing exactly one position is what
+    expansion requires (the engine always expands the leftmost open node).
+    Only the spine from the replaced position to the root is rebuilt — all
+    sibling subtrees are shared with the input, which is what makes the
+    incremental approximation cache effective.
+    """
+    replaced, result = _replace_first(partial, target, replacement)
+    return result
+
+
+def _replace_first(
+    partial: PartialRegex, target: POpen, replacement: PartialRegex
+) -> tuple[bool, PartialRegex]:
     if partial is target:
-        return replacement
+        return True, replacement
     if isinstance(partial, POp):
-        changed = False
-        new_children = []
-        for child in partial.children:
-            new_child = replace_node(child, target, replacement)
-            changed = changed or new_child is not child
-            new_children.append(new_child)
-        if changed:
-            return POp(partial.op, tuple(new_children), partial.ints)
-    return partial
+        for index, child in enumerate(partial.children):
+            replaced, new_child = _replace_first(child, target, replacement)
+            if replaced:
+                children = (
+                    partial.children[:index]
+                    + (new_child,)
+                    + partial.children[index + 1:]
+                )
+                return True, POp(partial.op, children, partial.ints)
+    return False, partial
 
 
 def to_debug_string(partial: PartialRegex) -> str:
