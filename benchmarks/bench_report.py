@@ -1,8 +1,11 @@
 """Benchmark driver for the PBE engine's hot path.
 
-Runs the same workloads as ``bench_engine_micro.py`` (the approximation
-check, symbolic-constant inference, and the full Section-2 motivating-example
-sketch completion) without requiring pytest-benchmark, and writes the numbers
+The one engine benchmark driver (it subsumes the former
+``bench_engine_micro.py`` pytest-benchmark file, now removed): the
+approximation check, symbolic-constant inference (plus a heavier variant with
+three symbolic integers that exercises the solver's propagation and
+incremental re-solving), and the full Section-2 motivating-example sketch
+completion, all without requiring pytest-benchmark.  The numbers are written
 to a JSON report (``BENCH_engine.json`` at the repository root by default).
 
 The report accumulates labelled *snapshots* so a before/after trajectory can
@@ -31,7 +34,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.dsl import Concat, NUM, Optional, RepeatRange, literal
+from repro.dsl import Concat, LET, NUM, Optional, RepeatRange, literal
 from repro.sketch import parse_sketch
 from repro.synthesis import (
     Examples,
@@ -69,6 +72,38 @@ def _symbolic_partial() -> POp:
         (
             POp("RepeatRange", (PLeaf(NUM),), (1, SymInt("k1"))),
             PLeaf(Optional(Concat(literal("."), RepeatRange(NUM, 1, 3)))),
+        ),
+    )
+
+
+#: Heavy constant-inference workload: three symbolic integers in one regex, so
+#: the Figure-14 enumeration interleaves blocking clauses over several κ and
+#: the solver's decomposition/propagation do real work.
+_HEAVY_POSITIVES = ["12-ab12", "12-abc1", "12-a123"]
+_HEAVY_NEGATIVES = ["1-ab12", "12-123", "12-abcd"]
+_HEAVY_CONFIG = SynthesisConfig(
+    hole_depth=2, timeout=30.0, max_kappa=8, max_models_per_symbolic=8
+)
+
+
+def _heavy_symbolic_partial() -> POp:
+    return POp(
+        "Concat",
+        (
+            POp("Repeat", (PLeaf(NUM),), (SymInt("k1"),)),
+            POp(
+                "Concat",
+                (
+                    PLeaf(literal("-")),
+                    POp(
+                        "Concat",
+                        (
+                            POp("RepeatRange", (PLeaf(LET),), (1, SymInt("k2"))),
+                            POp("RepeatAtLeast", (PLeaf(NUM),), (SymInt("k3"),)),
+                        ),
+                    ),
+                ),
+            ),
         ),
     )
 
@@ -117,6 +152,19 @@ def bench_constant_inference(repeats: int) -> dict:
     return _time_workload(run, repeats)
 
 
+def bench_constant_inference_heavy(repeats: int) -> dict:
+    """Figure-14 enumeration with three symbolic integers (κ1, κ2, κ3)."""
+    examples = Examples(_HEAVY_POSITIVES, _HEAVY_NEGATIVES)
+    partial = _heavy_symbolic_partial()
+
+    def run():
+        candidates = infer_constants(partial, examples, _HEAVY_CONFIG)
+        assert candidates
+        return {"candidates": len(candidates), "symbolic_integers": 3}
+
+    return _time_workload(run, repeats)
+
+
 def bench_full_sketch_completion(repeats: int, evaluator: str | None) -> dict:
     """Complete the Section-2 motivating-example sketch from scratch."""
     sketch = parse_sketch(_FULL_SKETCH)
@@ -130,6 +178,9 @@ def bench_full_sketch_completion(repeats: int, evaluator: str | None) -> dict:
             "eval_cache_hits": getattr(result, "eval_cache_hits", 0),
             "eval_cache_misses": getattr(result, "eval_cache_misses", 0),
             "approx_cache_hits": getattr(result, "approx_cache_hits", 0),
+            "solver_propagations": getattr(result, "solver_propagations", 0),
+            "solver_conflicts": getattr(result, "solver_conflicts", 0),
+            "encode_cache_hits": getattr(result, "encode_cache_hits", 0),
         }
 
     entry = _time_workload(run, repeats)
@@ -141,6 +192,7 @@ def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
     workloads = {
         "approximation_check": bench_approximation_check(repeats),
         "constant_inference": bench_constant_inference(repeats),
+        "constant_inference_heavy": bench_constant_inference_heavy(repeats),
         "full_sketch_completion": bench_full_sketch_completion(repeats, None),
     }
     supports_modes = "evaluator" in inspect.signature(Examples.__init__).parameters

@@ -88,6 +88,12 @@ class SketchReport:
     eval_cache_misses: int = 0
     #: Per-subtree approximation cache hits during this sketch's search.
     approx_cache_hits: int = 0
+    #: Solver propagation/conflict counts during this sketch's search (zero
+    #: in reports produced before the propagation-based solver existed).
+    solver_propagations: int = 0
+    solver_conflicts: int = 0
+    #: Figure-13 encoding-cache hits during this sketch's search.
+    encode_cache_hits: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -101,6 +107,9 @@ class SketchReport:
             "eval_cache_hits": self.eval_cache_hits,
             "eval_cache_misses": self.eval_cache_misses,
             "approx_cache_hits": self.approx_cache_hits,
+            "solver_propagations": self.solver_propagations,
+            "solver_conflicts": self.solver_conflicts,
+            "encode_cache_hits": self.encode_cache_hits,
         }
 
     @classmethod
@@ -116,6 +125,9 @@ class SketchReport:
             eval_cache_hits=data.get("eval_cache_hits", 0),
             eval_cache_misses=data.get("eval_cache_misses", 0),
             approx_cache_hits=data.get("approx_cache_hits", 0),
+            solver_propagations=data.get("solver_propagations", 0),
+            solver_conflicts=data.get("solver_conflicts", 0),
+            encode_cache_hits=data.get("encode_cache_hits", 0),
         )
 
 
@@ -159,6 +171,14 @@ class RunReport:
     @property
     def total_eval_cache_hits(self) -> int:
         return sum(report.eval_cache_hits for report in self.sketches)
+
+    @property
+    def total_solver_propagations(self) -> int:
+        return sum(report.solver_propagations for report in self.sketches)
+
+    @property
+    def total_solver_conflicts(self) -> int:
+        return sum(report.solver_conflicts for report in self.sketches)
 
     @property
     def eval_cache_hit_rate(self) -> float:

@@ -227,6 +227,9 @@ def _solve_sketch_worker(
         "eval_cache_hits": result.eval_cache_hits,
         "eval_cache_misses": result.eval_cache_misses,
         "approx_cache_hits": result.approx_cache_hits,
+        "solver_propagations": result.solver_propagations,
+        "solver_conflicts": result.solver_conflicts,
+        "encode_cache_hits": result.encode_cache_hits,
     }
 
 
@@ -302,6 +305,9 @@ class ProcessPoolScheduler:
                         eval_cache_hits=payload.get("eval_cache_hits", 0),
                         eval_cache_misses=payload.get("eval_cache_misses", 0),
                         approx_cache_hits=payload.get("approx_cache_hits", 0),
+                        solver_propagations=payload.get("solver_propagations", 0),
+                        solver_conflicts=payload.get("solver_conflicts", 0),
+                        encode_cache_hits=payload.get("encode_cache_hits", 0),
                     )
                     for regex in result.regexes:
                         yield Found(index, regex)

@@ -113,6 +113,9 @@ class Session:
                             eval_cache_hits=result.eval_cache_hits,
                             eval_cache_misses=result.eval_cache_misses,
                             approx_cache_hits=result.approx_cache_hits,
+                            solver_propagations=result.solver_propagations,
+                            solver_conflicts=result.solver_conflicts,
+                            encode_cache_hits=result.encode_cache_hits,
                         )
                     )
         except GeneratorExit:

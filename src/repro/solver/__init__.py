@@ -9,10 +9,19 @@ implements a complete solver for exactly that fragment:
 
 * :mod:`repro.solver.terms` — the term/formula AST (variables, constants,
   sums, products, comparisons, boolean connectives, existential quantifiers),
-* :mod:`repro.solver.solver` — interval propagation + connected-component
-  decomposition + backtracking search, returning models and supporting the
-  assumption/blocking-clause workflow of the ``InferConstants`` loop
-  (Figure 14).
+* :mod:`repro.solver.store` — a formula compiled once into an indexed
+  constraint store: flattened conjuncts, per-conjunct variable sets, a
+  variable→conjunct index, and connected components (with the shared
+  symbolic integers removed) computed once per formula,
+* :mod:`repro.solver.propagate` — interval/bounds propagation to fixpoint
+  (HC4-style narrowing through sums and products, constructive disjunction),
+* :mod:`repro.solver.solver` — the :class:`Solver` facade plus the
+  incremental :class:`SolverInstance` (``solve(assumptions)`` and
+  ``push``/``pop`` of clause frames), which is what the ``InferConstants``
+  loop (Figure 14) uses so blocking clauses are assumption literals over the
+  already-compiled store,
+* :mod:`repro.solver.legacy` — the original recompute-everything
+  backtracker, kept as the reference oracle for differential tests.
 """
 
 from repro.solver.terms import (
@@ -34,7 +43,9 @@ from repro.solver.terms import (
     disjoin,
     var_names,
 )
-from repro.solver.solver import Solver, Interval, UNKNOWN
+from repro.solver.solver import Solver, SolverInstance
+from repro.solver.store import CompiledStore, Interval, SolverStats, UNKNOWN
+from repro.solver.legacy import LegacySolver
 
 __all__ = [
     "Term",
@@ -55,6 +66,10 @@ __all__ = [
     "disjoin",
     "var_names",
     "Solver",
+    "SolverInstance",
+    "CompiledStore",
+    "SolverStats",
+    "LegacySolver",
     "Interval",
     "UNKNOWN",
 ]

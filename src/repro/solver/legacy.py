@@ -1,0 +1,228 @@
+"""The original recompute-everything backtracking solver, kept as an oracle.
+
+This is the solver that shipped before the compiled-store rewrite in
+:mod:`repro.solver.solver`.  It re-derives everything (variable sets,
+connected components, interval evaluation) at every search node, which made
+``InferConstants`` the engine's dominant cost; it survives here, API-intact,
+as the reference implementation for differential tests — the same role
+``RecursiveMatcher`` plays for the match-set evaluator.
+
+It is complete over finite variable domains and includes:
+
+* **three-valued interval evaluation** of the formula under a partial
+  assignment, which prunes hopeless branches early, and
+* **connected-component decomposition**: once the shared symbolic integers are
+  assigned, the remaining temporary length variables of different examples are
+  independent, and each component is solved separately instead of multiplying
+  the search spaces.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.solver import terms as T
+
+# The shared three-valued interval primitives (Interval, UNKNOWN, interval
+# arithmetic, formula evaluation) live in repro.solver.store; this module
+# only keeps the original search strategy.
+from repro.solver.store import (  # noqa: F401  (re-exported for back-compat)
+    Interval,
+    UNKNOWN,
+    _compare,
+    _evaluate,
+    _interval_add,
+    _interval_mul,
+    _term_interval,
+)
+
+
+class LegacySolver:
+    """Finite-domain solver for the formula language of :mod:`repro.solver.terms`."""
+
+    def __init__(self, max_steps: int = 2_000_000):
+        self.max_steps = max_steps
+        self._steps = 0
+        self._deadline: Optional[float] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def solve(
+        self,
+        formula: T.Formula,
+        domains: Dict[str, Tuple[int, int]],
+        prefer: Optional[Iterable[str]] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[Dict[str, int]]:
+        """Return a model (full assignment) of ``formula`` or None if UNSAT.
+
+        ``domains`` maps every variable to an inclusive ``(lo, hi)`` range;
+        variables appearing in the formula but not in ``domains`` get the
+        widest range seen (a defensive default).  ``prefer`` lists variables
+        to branch on first (the symbolic integers of the regex), which both
+        finds "small" models first and enables component decomposition for
+        the rest.  ``deadline`` (a ``time.monotonic`` timestamp) aborts the
+        search with :class:`RuntimeError`, like the step budget — it is what
+        keeps a single solver call from blowing through a scheduler's time
+        slice.
+        """
+        self._steps = 0
+        self._deadline = deadline
+        flat = _flatten(formula)
+        names = sorted(T.var_names(flat))
+        if not names:
+            value = _evaluate(flat, {}, {})
+            return {} if value is True else None
+        default_domain = (0, max((hi for _, hi in domains.values()), default=30))
+        full_domains = {
+            name: Interval(*domains.get(name, default_domain)) for name in names
+        }
+        order = list(dict.fromkeys([*(prefer or []), *names]))
+        order = [name for name in order if name in full_domains]
+        assignment: Dict[str, int] = {}
+        result = self._search(flat, order, full_domains, assignment)
+        return result
+
+    def satisfiable(
+        self,
+        formula: T.Formula,
+        domains: Dict[str, Tuple[int, int]],
+        prefer: Optional[Iterable[str]] = None,
+        deadline: Optional[float] = None,
+    ) -> bool:
+        """Convenience wrapper: is the formula satisfiable at all?
+
+        ``prefer`` and ``deadline`` are forwarded to :meth:`solve`, so
+        feasibility probes respect scheduler slices exactly like model
+        enumeration does.
+        """
+        return self.solve(formula, domains, prefer=prefer, deadline=deadline) is not None
+
+    # -- search -------------------------------------------------------------
+
+    def _search(
+        self,
+        formula: T.Formula,
+        order: list[str],
+        domains: Dict[str, Interval],
+        assignment: Dict[str, int],
+    ) -> Optional[Dict[str, int]]:
+        status = _evaluate(formula, assignment, domains)
+        if status is False:
+            return None
+        unassigned = [name for name in order if name not in assignment]
+        if not unassigned:
+            return dict(assignment) if status is True else None
+        if status is True:
+            # Remaining variables are unconstrained; fix them to their lower bound.
+            model = dict(assignment)
+            for name in unassigned:
+                model[name] = domains[name].lo
+            return model
+
+        # Component decomposition: solve independent variable groups separately.
+        components = _components(formula, set(unassigned), assignment)
+        if len(components) > 1:
+            model = dict(assignment)
+            for component_vars, component_formula in components:
+                sub_order = [n for n in order if n in component_vars]
+                sub = self._search(component_formula, sub_order, domains, dict(assignment))
+                if sub is None:
+                    return None
+                for name in component_vars:
+                    model[name] = sub[name]
+            # Variables in no component are unconstrained.
+            for name in unassigned:
+                model.setdefault(name, domains[name].lo)
+            return model
+
+        # Branch on a variable that actually constrains the formula, preferring
+        # the caller-supplied order (symbolic integers first).
+        constrained = components[0][0] if components else set(unassigned)
+        name = next((n for n in unassigned if n in constrained), unassigned[0])
+        domain = domains[name]
+        for value in range(domain.lo, domain.hi + 1):
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise RuntimeError("solver step budget exceeded")
+            if (
+                self._deadline is not None
+                and self._steps % 2048 == 0
+                and time.monotonic() > self._deadline
+            ):
+                raise RuntimeError("solver deadline exceeded")
+            assignment[name] = value
+            result = self._search(formula, order, domains, assignment)
+            if result is not None:
+                return result
+            del assignment[name]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Formula utilities
+# ---------------------------------------------------------------------------
+
+def _flatten(formula: T.Formula) -> T.Formula:
+    """Drop Exists binders (every variable is existential for satisfiability)."""
+    if isinstance(formula, T.Exists):
+        return _flatten(formula.body)
+    if isinstance(formula, T.AndF):
+        return T.conjoin([_flatten(p) for p in formula.parts])
+    if isinstance(formula, T.OrF):
+        return T.disjoin([_flatten(p) for p in formula.parts])
+    if isinstance(formula, T.NotF):
+        return T.NotF(_flatten(formula.arg))
+    return formula
+
+
+
+def _components(
+    formula: T.Formula, unassigned: set[str], assignment: Dict[str, int]
+) -> list[tuple[set[str], T.Formula]]:
+    """Split a top-level conjunction into variable-connected components.
+
+    Only conjunctions can be decomposed; any other shape yields a single
+    component.  Conjuncts whose unassigned variables overlap are merged via
+    union-find.
+    """
+    if not isinstance(formula, T.AndF):
+        return [(set(T.var_names(formula)) & unassigned, formula)]
+
+    parts = list(formula.parts)
+    part_vars = [set(T.var_names(part)) & unassigned for part in parts]
+
+    parent = list(range(len(parts)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    owner: dict[str, int] = {}
+    for index, variables in enumerate(part_vars):
+        for name in variables:
+            if name in owner:
+                union(index, owner[name])
+            else:
+                owner[name] = index
+
+    groups: dict[int, list[int]] = {}
+    for index in range(len(parts)):
+        groups.setdefault(find(index), []).append(index)
+
+    components: list[tuple[set[str], T.Formula]] = []
+    for indices in groups.values():
+        variables = set().union(*(part_vars[i] for i in indices)) if indices else set()
+        if not variables:
+            continue  # fully assigned conjuncts were already checked by _evaluate
+        component_formula = T.conjoin([parts[i] for i in indices])
+        components.append((variables, component_formula))
+    if not components:
+        return [(set(), formula)]
+    return components

@@ -1,0 +1,290 @@
+"""Interval/bounds propagation over a compiled constraint store.
+
+This is the solver's inference engine, in the spirit of finite-domain
+constraint propagation: instead of enumerating ``range(lo, hi + 1)`` blindly,
+every branching decision first narrows the interval domains of all affected
+variables to a fixpoint.  Linear atoms propagate HC4-style — forward interval
+evaluation of the monomials, then backward narrowing of each variable through
+sums and (strictly positive) products; disjunctive conjuncts propagate by
+constructive disjunction (the hull of the per-disjunct narrowings, dead
+disjuncts dropped).
+
+All mutation happens through a :class:`Trail`, so the search in
+:mod:`repro.solver.solver` can undo a branch in O(narrowings).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.solver.store import (
+    NEG_INF,
+    POS_INF,
+    Conjunct,
+    Interval,
+    LinearAtom,
+    OrPart,
+    SolverStats,
+    _monomial_interval,
+)
+
+
+class Conflict(Exception):
+    """A variable domain was wiped out: the current branch is dead."""
+
+
+class Trail:
+    """Undo log of domain narrowings (one entry per change, newest last)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[str, Interval]] = []
+
+    def mark(self) -> int:
+        return len(self.entries)
+
+    def undo_to(self, mark: int, domains: Dict[str, Interval]) -> None:
+        while len(self.entries) > mark:
+            name, old = self.entries.pop()
+            domains[name] = old
+
+
+def narrow_to(
+    name: str,
+    lo: float,
+    hi: float,
+    domains: Dict[str, Interval],
+    trail: Trail,
+    changed: Set[str],
+) -> None:
+    """Intersect ``name``'s domain with ``[lo, hi]``; record and report changes."""
+    old = domains[name]
+    new_lo = old.lo if lo == NEG_INF else max(old.lo, int(lo))
+    new_hi = old.hi if hi == POS_INF else min(old.hi, int(hi))
+    if new_lo == old.lo and new_hi == old.hi:
+        return
+    if new_lo > new_hi:
+        raise Conflict()
+    trail.entries.append((name, old))
+    domains[name] = Interval(new_lo, new_hi)
+    changed.add(name)
+
+
+def _narrow_atom(
+    atom: LinearAtom,
+    domains: Dict[str, Interval],
+    trail: Trail,
+    changed: Set[str],
+) -> None:
+    """One HC4 revision of a linear atom.  Raises :class:`Conflict` when the
+    atom cannot be satisfied under the current domains."""
+    if atom.neq is not None:
+        _shave_neq(atom, domains, trail, changed)
+        return
+
+    contribs = [
+        _monomial_interval(coef, names, domains) for coef, names in atom.monomials
+    ]
+    total_lo = sum(c[0] for c in contribs)
+    total_hi = sum(c[1] for c in contribs)
+    if total_hi < atom.lo or total_lo > atom.hi:
+        raise Conflict()
+
+    for j, (coef, names) in enumerate(atom.monomials):
+        rest_lo = total_lo - contribs[j][0]
+        rest_hi = total_hi - contribs[j][1]
+        # Required range for this monomial's contribution coef * Π names.
+        t_lo = NEG_INF if atom.lo == NEG_INF else atom.lo - rest_hi
+        t_hi = POS_INF if atom.hi == POS_INF else atom.hi - rest_lo
+        # Required range for the bare product Π names.
+        if coef > 0:
+            p_lo = NEG_INF if t_lo == NEG_INF else math.ceil(t_lo / coef)
+            p_hi = POS_INF if t_hi == POS_INF else math.floor(t_hi / coef)
+        else:
+            p_lo = NEG_INF if t_hi == POS_INF else math.ceil(t_hi / coef)
+            p_hi = POS_INF if t_lo == NEG_INF else math.floor(t_lo / coef)
+        for pos, name in enumerate(names):
+            if names.count(name) > 1:
+                continue  # squared variables: skip (sound, just no narrowing)
+            others_lo, others_hi = 1, 1
+            for other_pos, other in enumerate(names):
+                if other_pos == pos:
+                    continue
+                iv = domains[other]
+                products = (
+                    others_lo * iv.lo,
+                    others_lo * iv.hi,
+                    others_hi * iv.lo,
+                    others_hi * iv.hi,
+                )
+                others_lo, others_hi = min(products), max(products)
+            if others_lo < 1 or domains[name].lo < 0:
+                continue  # only the strictly-positive, non-negative case narrows
+            new_hi = POS_INF if p_hi == POS_INF else math.floor(p_hi / others_lo)
+            new_lo = NEG_INF
+            if p_lo != NEG_INF and p_lo > 0:
+                new_lo = math.ceil(p_lo / others_hi)
+            narrow_to(name, new_lo, new_hi, domains, trail, changed)
+
+
+def _shave_neq(
+    atom: LinearAtom,
+    domains: Dict[str, Interval],
+    trail: Trail,
+    changed: Set[str],
+) -> None:
+    """Propagation for ``Σ != v``: conflict when forced, endpoint shaving for
+    the single-variable case (the shape every blocking clause takes)."""
+    plo, phi = atom.interval(domains)
+    if plo == phi == atom.neq:
+        raise Conflict()
+    if len(atom.monomials) == 1:
+        coef, names = atom.monomials[0]
+        if len(names) == 1 and atom.neq % coef == 0:
+            forbidden = atom.neq // coef
+            name = names[0]
+            iv = domains[name]
+            if iv.lo == iv.hi == forbidden:
+                raise Conflict()
+            if iv.lo == forbidden:
+                narrow_to(name, iv.lo + 1, POS_INF, domains, trail, changed)
+            elif iv.hi == forbidden:
+                narrow_to(name, NEG_INF, iv.hi - 1, domains, trail, changed)
+
+
+def _narrow_or_group(
+    conjunct: Conjunct,
+    domains: Dict[str, Interval],
+    trail: Trail,
+    changed: Set[str],
+) -> None:
+    """Constructive disjunction: drop dead disjuncts, take the hull of the
+    alive ones' narrowings."""
+    alive: List[OrPart] = []
+    for part in conjunct.parts:
+        if part.evaluate(domains) is not False:
+            alive.append(part)
+    if not alive:
+        raise Conflict()
+    if len(alive) == 1 and alive[0].atoms is not None:
+        for atom in alive[0].atoms:
+            _narrow_atom(atom, domains, trail, changed)
+        return
+    # Hull: narrow a local overlay per alive disjunct; a variable's new domain
+    # is the union (hull) of its per-disjunct domains.
+    overlays: List[Optional[Dict[str, Interval]]] = []
+    for part in alive:
+        if part.atoms is None:
+            overlays.append(None)  # cannot narrow through a residual formula
+            continue
+        overlays.append(_local_overlay(part.atoms, domains))
+    survivors = [
+        (part, overlay)
+        for part, overlay in zip(alive, overlays)
+        if overlay is not None or part.atoms is None
+    ]
+    if not survivors:
+        raise Conflict()
+    for name in conjunct.vars:
+        base = domains[name]
+        hull_lo, hull_hi = None, None
+        opaque = False
+        for part, overlay in survivors:
+            if part.atoms is None:
+                opaque = True
+                break
+            iv = overlay.get(name, base) if overlay is not None else base
+            hull_lo = iv.lo if hull_lo is None else min(hull_lo, iv.lo)
+            hull_hi = iv.hi if hull_hi is None else max(hull_hi, iv.hi)
+        if opaque or hull_lo is None:
+            continue
+        narrow_to(name, hull_lo, hull_hi, domains, trail, changed)
+
+
+def _local_overlay(
+    atoms: Tuple[LinearAtom, ...], domains: Dict[str, Interval]
+) -> Optional[Dict[str, Interval]]:
+    """Narrow a copy-on-write overlay under one disjunct; None when the
+    disjunct is infeasible (and can be dropped from the hull)."""
+    local: Dict[str, Interval] = {}
+    view = _OverlayView(local, domains)
+    local_trail = Trail()
+    local_changed: Set[str] = set()
+    try:
+        for _ in range(2):  # two rounds are enough for the small disjuncts
+            for atom in atoms:
+                _narrow_atom(atom, view, local_trail, local_changed)
+    except Conflict:
+        return None
+    return local
+
+
+class _OverlayView(dict):
+    """Dict view writing to an overlay while reading through to a base."""
+
+    def __init__(self, overlay: Dict[str, Interval], base: Dict[str, Interval]):
+        super().__init__()
+        self._overlay = overlay
+        self._base = base
+
+    def __getitem__(self, name: str) -> Interval:
+        try:
+            return self._overlay[name]
+        except KeyError:
+            return self._base[name]
+
+    def __setitem__(self, name: str, value: Interval) -> None:
+        self._overlay[name] = value
+
+
+def revise(
+    conjunct: Conjunct,
+    domains: Dict[str, Interval],
+    trail: Trail,
+    changed: Set[str],
+) -> None:
+    """Narrow every variable of one conjunct (raises :class:`Conflict`)."""
+    if conjunct.atom is not None:
+        _narrow_atom(conjunct.atom, domains, trail, changed)
+    else:
+        _narrow_or_group(conjunct, domains, trail, changed)
+
+
+def propagate(
+    conjunct_ids: Iterable[int],
+    conjuncts: List[Conjunct],
+    var_to_conjuncts: Dict[str, Tuple[int, ...]],
+    domains: Dict[str, Interval],
+    trail: Trail,
+    stats: SolverStats,
+) -> bool:
+    """AC-3-style fixpoint over ``conjunct_ids`` and everything they wake.
+
+    Returns False (after counting a conflict) when a domain is wiped out;
+    the caller is responsible for undoing the trail.
+    """
+    queue = deque(conjunct_ids)
+    in_queue = set(queue)
+    try:
+        while queue:
+            ci = queue.popleft()
+            in_queue.discard(ci)
+            changed: Set[str] = set()
+            revise(conjuncts[ci], domains, trail, changed)
+            if changed:
+                stats.propagations += 1
+                for name in changed:
+                    for cj in var_to_conjuncts.get(name, ()):
+                        # The revising conjunct may wake itself: HC4 narrows
+                        # each monomial against totals computed *before* the
+                        # narrowing, so its own revision can be stale too.
+                        if cj not in in_queue:
+                            queue.append(cj)
+                            in_queue.add(cj)
+    except Conflict:
+        stats.conflicts += 1
+        return False
+    return True

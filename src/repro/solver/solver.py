@@ -1,51 +1,420 @@
-"""Backtracking solver with interval propagation for bounded integer constraints.
+"""Propagation-based incremental solver for bounded integer constraints.
 
-The solver is complete over finite variable domains.  It is deliberately
-simple — the constraints coming out of the Figure 13 encoding are small — but
-it includes the two optimisations that matter for the synthesis workload:
+The public surface is unchanged from the legacy backtracker —
+``Solver.solve(formula, domains, prefer=…, deadline=…)`` returns a model or
+None — but the implementation is rebuilt around a compiled constraint store
+(:mod:`repro.solver.store`) with interval/bounds propagation
+(:mod:`repro.solver.propagate`):
 
-* **three-valued interval evaluation** of the formula under a partial
-  assignment, which prunes hopeless branches early, and
-* **connected-component decomposition**: once the shared symbolic integers are
-  assigned, the remaining temporary length variables of different examples are
-  independent, and each component is solved separately instead of multiplying
-  the search spaces.
+* the formula is compiled **once** into indexed conjuncts with precomputed
+  variable sets and connected components (the legacy solver re-ran
+  ``var_names`` and union-find at every search node),
+* every branching decision first narrows all affected domains to a fixpoint,
+  so ``range(lo, hi + 1)`` enumeration only happens inside already-tight
+  intervals, with ascending value order (small models first),
+* :class:`SolverInstance` exposes an **incremental API** —
+  ``solve(assumptions)`` plus ``push``/``pop`` of clauses — so the Figure-14
+  enumeration re-solves the same compiled store under cheap assumption
+  literals instead of rebuilding a quadratically growing conjunction.
+
+The legacy implementation survives unchanged in :mod:`repro.solver.legacy`
+as the reference oracle for differential tests.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.solver import terms as T
+from repro.solver.propagate import Conflict, Trail, narrow_to, propagate
+from repro.solver.store import (
+    CompiledStore,
+    _evaluate,  # noqa: F401  (re-exported: oracles/tests import it from here)
+    Conjunct,
+    Interval,
+    NEGATED_OP,
+    SolverStats,
+    UNKNOWN,
+    build_var_index,
+    compile_conjuncts,
+    compute_components,
+)
 
 
-#: Three-valued logic "don't know yet" marker.
-UNKNOWN = object()
+#: An assumption literal: ``(variable, op, value)`` with op in {==,!=,<=,>=,<,>}.
+Literal = Tuple[str, str, int]
+
+Assumption = Union[Literal, T.Formula]
+
+_LITERAL_OPS = frozenset(("==", "!=", "<=", ">=", "<", ">"))
 
 
-@dataclass(frozen=True)
-class Interval:
-    """A closed integer interval ``[lo, hi]`` (possibly empty if lo > hi)."""
+def as_literal(assumption: Assumption) -> Literal:
+    """Coerce a ``Cmp``/``NotF(Cmp)`` over (Var, Const) into a literal triple."""
+    if isinstance(assumption, tuple):
+        name, op, value = assumption
+        if op not in _LITERAL_OPS:
+            raise ValueError(f"unknown assumption operator {op!r}")
+        return name, op, value
+    if isinstance(assumption, T.NotF) and isinstance(assumption.arg, T.Cmp):
+        name, op, value = as_literal(assumption.arg)
+        return name, NEGATED_OP[op], value
+    if isinstance(assumption, T.Cmp):
+        lhs, rhs = assumption.lhs, assumption.rhs
+        if isinstance(lhs, T.Var) and isinstance(rhs, T.Const):
+            return lhs.name, assumption.op, rhs.value
+        if isinstance(lhs, T.Const) and isinstance(rhs, T.Var):
+            flipped = {"<=": ">=", ">=": "<=", "<": ">", ">": "<", "==": "==", "!=": "!="}
+            return rhs.name, flipped[assumption.op], lhs.value
+    raise ValueError(f"cannot use {assumption!r} as an assumption literal")
 
-    lo: int
-    hi: int
 
-    def is_empty(self) -> bool:
-        return self.lo > self.hi
+class SolverInstance:
+    """One compiled formula, solvable many times under varying assumptions.
 
-    def __contains__(self, value: int) -> bool:
-        return self.lo <= value <= self.hi
+    Created through :meth:`Solver.compile`.  The store (conjunct index,
+    components, base domains) is built once; each :meth:`solve` call only
+    copies the domain table, applies the assumption literals, and searches
+    with propagation.  :meth:`push`/:meth:`pop` add/remove whole clause
+    frames for constraints that do not fit a literal.
+    """
 
+    def __init__(self, solver: "Solver", store: CompiledStore):
+        self._solver = solver
+        self.stats = solver.stats
+        self._store = store
+        self._frames: List[List[Conjunct]] = []
+        self._combined: Optional[tuple] = None
+        #: Assumption-free propagation fixpoint of the current view, computed
+        #: once and reused by every solve: (domains-at-fixpoint, satisfiable).
+        self._fixpoint: Optional[tuple] = None
+        # Per-solve state (reset by solve()).
+        self._steps = 0
+        self._deadline: Optional[float] = None
 
-def _interval_add(a: Interval, b: Interval) -> Interval:
-    return Interval(a.lo + b.lo, a.hi + b.hi)
+    # -- incremental clause frames ------------------------------------------
 
+    def push(self, formula: T.Formula) -> None:
+        """Add a clause frame; it participates in every solve until popped."""
+        self._frames.append(compile_conjuncts(formula))
+        self._combined = None
+        self._fixpoint = None
 
-def _interval_mul(a: Interval, b: Interval) -> Interval:
-    products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
-    return Interval(min(products), max(products))
+    def pop(self) -> None:
+        """Remove the most recent clause frame."""
+        self._frames.pop()
+        self._combined = None
+        self._fixpoint = None
+
+    # -- compiled view -------------------------------------------------------
+
+    def _view(self) -> tuple:
+        """(conjuncts, var_index, components, base_domains, variables, unsat)."""
+        if self._combined is not None:
+            return self._combined
+        store = self._store
+        if not self._frames:
+            view = (
+                store.conjuncts,
+                store.var_to_conjuncts,
+                store.components,
+                store.base_domains,
+                store.variables,
+                store.unsat,
+            )
+        else:
+            conjuncts = list(store.conjuncts)
+            unsat = store.unsat
+            for frame in self._frames:
+                if frame is None:
+                    unsat = True
+                else:
+                    conjuncts.extend(frame)
+            var_index = build_var_index(conjuncts)
+            components = compute_components(conjuncts, set(store.shared))
+            base_domains = dict(store.base_domains)
+            for name in var_index:
+                if name not in base_domains:
+                    base_domains[name] = Interval(
+                        *store.given_domains.get(name, store.default_domain)
+                    )
+            view = (
+                conjuncts,
+                var_index,
+                components,
+                base_domains,
+                tuple(sorted(var_index)),
+                unsat,
+            )
+        self._combined = view
+        return view
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[Assumption] = (),
+        prefer: Optional[Iterable[str]] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[Dict[str, int]]:
+        """Return a model of store ∧ assumptions, or None if UNSAT.
+
+        The model covers the formula's variables plus any variables mentioned
+        only by assumptions; assumption-only variables take the smallest
+        value compatible with the literals (their bounds come from the
+        ``domains`` mapping given at compile time, when present).
+        """
+        conjuncts, var_index, components, base_domains, variables, unsat = self._view()
+        if unsat:
+            return None
+        self._steps = 0
+        self._deadline = deadline
+        if deadline is not None and time.monotonic() > deadline:
+            raise RuntimeError("solver deadline exceeded")
+
+        # Assumption-free fixpoint, computed once per compiled view: every
+        # incremental solve starts from already-narrowed domains and only
+        # re-propagates what its assumption literals actually touch.
+        if self._fixpoint is None:
+            fix_domains: Dict[str, Interval] = dict(base_domains)
+            ok = propagate(
+                range(len(conjuncts)), conjuncts, var_index, fix_domains, Trail(), self.stats
+            )
+            self._fixpoint = (fix_domains, ok)
+        fix_domains, ok = self._fixpoint
+        if not ok:
+            return None
+
+        domains: Dict[str, Interval] = dict(fix_domains)
+        excluded: Dict[str, Set[int]] = {}
+        extras: List[str] = []
+        trail = Trail()
+        changed: Set[str] = set()
+        store = self._store
+        try:
+            for assumption in assumptions:
+                name, op, value = as_literal(assumption)
+                if name not in domains:
+                    domains[name] = Interval(
+                        *store.given_domains.get(name, store.default_domain)
+                    )
+                    extras.append(name)
+                if op == "==":
+                    narrow_to(name, value, value, domains, trail, changed)
+                elif op == "<=":
+                    narrow_to(name, float("-inf"), value, domains, trail, changed)
+                elif op == "<":
+                    narrow_to(name, float("-inf"), value - 1, domains, trail, changed)
+                elif op == ">=":
+                    narrow_to(name, value, float("inf"), domains, trail, changed)
+                elif op == ">":
+                    narrow_to(name, value + 1, float("inf"), domains, trail, changed)
+                else:  # "!="
+                    excluded.setdefault(name, set()).add(value)
+            for name, values in excluded.items():
+                iv = domains[name]
+                lo, hi = iv.lo, iv.hi
+                while lo in values and lo <= hi:
+                    lo += 1
+                while hi in values and lo <= hi:
+                    hi -= 1
+                narrow_to(name, lo, hi, domains, trail, changed)
+        except Conflict:
+            self.stats.conflicts += 1
+            return None
+
+        seed = sorted({ci for name in changed for ci in var_index.get(name, ())})
+        if seed and not propagate(
+            seed, conjuncts, var_index, domains, trail, self.stats
+        ):
+            return None
+        if not self._excluded_ok(domains, excluded):
+            self.stats.conflicts += 1
+            return None
+
+        order = list(dict.fromkeys([*(prefer or []), *self._store.shared]))
+        order = [name for name in order if name in domains]
+        model = self._branch_shared(
+            0, order, conjuncts, var_index, components, domains, excluded, trail
+        )
+        if model is None:
+            return None
+        for name in variables:
+            if name not in model:
+                value = self._pick_value(name, domains, excluded)
+                if value is None:
+                    return None
+                model[name] = value
+        for name in extras:
+            if name not in model:
+                value = self._pick_value(name, domains, excluded)
+                if value is None:
+                    return None
+                model[name] = value
+        self.stats.models += 1
+        return model
+
+    # -- search --------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self._solver.max_steps:
+            raise RuntimeError("solver step budget exceeded")
+        if (
+            self._deadline is not None
+            and self._steps % 256 == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise RuntimeError("solver deadline exceeded")
+
+    def _pick_value(
+        self, name: str, domains: Dict[str, Interval], excluded: Dict[str, Set[int]]
+    ) -> Optional[int]:
+        iv = domains[name]
+        values = excluded.get(name)
+        if not values:
+            return iv.lo if iv.lo <= iv.hi else None
+        for value in range(iv.lo, iv.hi + 1):
+            if value not in values:
+                return value
+        return None
+
+    def _assign(
+        self,
+        name: str,
+        value: int,
+        conjuncts: List[Conjunct],
+        var_index: Dict[str, Tuple[int, ...]],
+        domains: Dict[str, Interval],
+        excluded: Dict[str, Set[int]],
+        trail: Trail,
+    ) -> bool:
+        changed: Set[str] = set()
+        try:
+            narrow_to(name, value, value, domains, trail, changed)
+        except Conflict:
+            self.stats.conflicts += 1
+            return False
+        if changed and not propagate(
+            var_index.get(name, ()), conjuncts, var_index, domains, trail, self.stats
+        ):
+            return False
+        if not self._excluded_ok(domains, excluded):
+            self.stats.conflicts += 1
+            return False
+        return True
+
+    def _excluded_ok(
+        self, domains: Dict[str, Interval], excluded: Dict[str, Set[int]]
+    ) -> bool:
+        """Propagation may force an excluded value; reject such branches."""
+        for name, values in excluded.items():
+            iv = domains[name]
+            if iv.lo == iv.hi and iv.lo in values:
+                return False
+        return True
+
+    def _branch_shared(
+        self,
+        index: int,
+        order: List[str],
+        conjuncts: List[Conjunct],
+        var_index: Dict[str, Tuple[int, ...]],
+        components: List[Tuple[Tuple[int, ...], Tuple[str, ...]]],
+        domains: Dict[str, Interval],
+        excluded: Dict[str, Set[int]],
+        trail: Trail,
+    ) -> Optional[Dict[str, int]]:
+        if index == len(order):
+            return self._solve_components(
+                conjuncts, var_index, components, domains, excluded, trail
+            )
+        name = order[index]
+        iv = domains[name]
+        skip = excluded.get(name, ())
+        for value in range(iv.lo, iv.hi + 1):
+            if value in skip:
+                continue
+            self._tick()
+            mark = trail.mark()
+            if self._assign(name, value, conjuncts, var_index, domains, excluded, trail):
+                model = self._branch_shared(
+                    index + 1, order, conjuncts, var_index, components, domains, excluded, trail
+                )
+                if model is not None:
+                    return model
+            trail.undo_to(mark, domains)
+        return None
+
+    def _solve_components(
+        self,
+        conjuncts: List[Conjunct],
+        var_index: Dict[str, Tuple[int, ...]],
+        components: List[Tuple[Tuple[int, ...], Tuple[str, ...]]],
+        domains: Dict[str, Interval],
+        excluded: Dict[str, Set[int]],
+        trail: Trail,
+    ) -> Optional[Dict[str, int]]:
+        model: Dict[str, int] = {}
+        for conjunct_ids, names in components:
+            mark = trail.mark()
+            sub = self._branch_component(
+                conjunct_ids, names, conjuncts, var_index, domains, excluded, trail
+            )
+            trail.undo_to(mark, domains)
+            if sub is None:
+                return None
+            model.update(sub)
+        return model
+
+    def _branch_component(
+        self,
+        conjunct_ids: Tuple[int, ...],
+        names: Tuple[str, ...],
+        conjuncts: List[Conjunct],
+        var_index: Dict[str, Tuple[int, ...]],
+        domains: Dict[str, Interval],
+        excluded: Dict[str, Set[int]],
+        trail: Trail,
+    ) -> Optional[Dict[str, int]]:
+        status = True
+        for ci in conjunct_ids:
+            value = conjuncts[ci].evaluate(domains)
+            if value is False:
+                return None
+            if value is UNKNOWN:
+                status = UNKNOWN
+        if status is True:
+            # Every remaining combination satisfies the component; take the
+            # smallest value of each variable.
+            sub: Dict[str, int] = {}
+            for name in names:
+                picked = self._pick_value(name, domains, excluded)
+                if picked is None:
+                    return None
+                sub[name] = picked
+            return sub
+        target = next(
+            (name for name in names if domains[name].lo != domains[name].hi), None
+        )
+        if target is None:
+            return None
+        iv = domains[target]
+        skip = excluded.get(target, ())
+        for value in range(iv.lo, iv.hi + 1):
+            if value in skip:
+                continue
+            self._tick()
+            mark = trail.mark()
+            if self._assign(target, value, conjuncts, var_index, domains, excluded, trail):
+                sub = self._branch_component(
+                    conjunct_ids, names, conjuncts, var_index, domains, excluded, trail
+                )
+                if sub is not None:
+                    return sub
+            trail.undo_to(mark, domains)
+        return None
 
 
 class Solver:
@@ -53,10 +422,23 @@ class Solver:
 
     def __init__(self, max_steps: int = 2_000_000):
         self.max_steps = max_steps
-        self._steps = 0
-        self._deadline: Optional[float] = None
+        #: Propagation/conflict/model counters, accumulated across all
+        #: instances compiled by this solver (the engine reads deltas).
+        self.stats = SolverStats()
 
-    # -- public API ---------------------------------------------------------
+    def compile(
+        self,
+        formula: T.Formula,
+        domains: Dict[str, Tuple[int, int]],
+        shared: Iterable[str] = (),
+    ) -> SolverInstance:
+        """Compile ``formula`` once for repeated solving under assumptions.
+
+        ``shared`` names the variables that couple otherwise-independent
+        parts of the formula (the symbolic integers κ); the store's
+        connected components are computed once with them removed.
+        """
+        return SolverInstance(self, CompiledStore(formula, domains, shared=shared))
 
     def solve(
         self,
@@ -77,247 +459,21 @@ class Solver:
         keeps a single solver call from blowing through a scheduler's time
         slice.
         """
-        self._steps = 0
-        self._deadline = deadline
-        flat = _flatten(formula)
-        names = sorted(T.var_names(flat))
-        if not names:
-            value = _evaluate(flat, {}, {})
-            return {} if value is True else None
-        default_domain = (0, max((hi for _, hi in domains.values()), default=30))
-        full_domains = {
-            name: Interval(*domains.get(name, default_domain)) for name in names
-        }
-        order = list(dict.fromkeys([*(prefer or []), *names]))
-        order = [name for name in order if name in full_domains]
-        assignment: Dict[str, int] = {}
-        result = self._search(flat, order, full_domains, assignment)
-        return result
+        prefer = tuple(prefer or ())
+        instance = self.compile(formula, domains, shared=prefer)
+        return instance.solve((), prefer=prefer, deadline=deadline)
 
     def satisfiable(
-        self, formula: T.Formula, domains: Dict[str, Tuple[int, int]]
-    ) -> bool:
-        """Convenience wrapper: is the formula satisfiable at all?"""
-        return self.solve(formula, domains) is not None
-
-    # -- search -------------------------------------------------------------
-
-    def _search(
         self,
         formula: T.Formula,
-        order: list[str],
-        domains: Dict[str, Interval],
-        assignment: Dict[str, int],
-    ) -> Optional[Dict[str, int]]:
-        status = _evaluate(formula, assignment, domains)
-        if status is False:
-            return None
-        unassigned = [name for name in order if name not in assignment]
-        if not unassigned:
-            return dict(assignment) if status is True else None
-        if status is True:
-            # Remaining variables are unconstrained; fix them to their lower bound.
-            model = dict(assignment)
-            for name in unassigned:
-                model[name] = domains[name].lo
-            return model
+        domains: Dict[str, Tuple[int, int]],
+        prefer: Optional[Iterable[str]] = None,
+        deadline: Optional[float] = None,
+    ) -> bool:
+        """Convenience wrapper: is the formula satisfiable at all?
 
-        # Component decomposition: solve independent variable groups separately.
-        components = _components(formula, set(unassigned), assignment)
-        if len(components) > 1:
-            model = dict(assignment)
-            for component_vars, component_formula in components:
-                sub_order = [n for n in order if n in component_vars]
-                sub = self._search(component_formula, sub_order, domains, dict(assignment))
-                if sub is None:
-                    return None
-                for name in component_vars:
-                    model[name] = sub[name]
-            # Variables in no component are unconstrained.
-            for name in unassigned:
-                model.setdefault(name, domains[name].lo)
-            return model
-
-        # Branch on a variable that actually constrains the formula, preferring
-        # the caller-supplied order (symbolic integers first).
-        constrained = components[0][0] if components else set(unassigned)
-        name = next((n for n in unassigned if n in constrained), unassigned[0])
-        domain = domains[name]
-        for value in range(domain.lo, domain.hi + 1):
-            self._steps += 1
-            if self._steps > self.max_steps:
-                raise RuntimeError("solver step budget exceeded")
-            if (
-                self._deadline is not None
-                and self._steps % 2048 == 0
-                and time.monotonic() > self._deadline
-            ):
-                raise RuntimeError("solver deadline exceeded")
-            assignment[name] = value
-            result = self._search(formula, order, domains, assignment)
-            if result is not None:
-                return result
-            del assignment[name]
-        return None
-
-
-# ---------------------------------------------------------------------------
-# Formula utilities
-# ---------------------------------------------------------------------------
-
-def _flatten(formula: T.Formula) -> T.Formula:
-    """Drop Exists binders (every variable is existential for satisfiability)."""
-    if isinstance(formula, T.Exists):
-        return _flatten(formula.body)
-    if isinstance(formula, T.AndF):
-        return T.conjoin([_flatten(p) for p in formula.parts])
-    if isinstance(formula, T.OrF):
-        return T.disjoin([_flatten(p) for p in formula.parts])
-    if isinstance(formula, T.NotF):
-        return T.NotF(_flatten(formula.arg))
-    return formula
-
-
-def _term_interval(
-    term: T.Term, assignment: Dict[str, int], domains: Dict[str, Interval]
-) -> Interval:
-    if isinstance(term, T.Const):
-        return Interval(term.value, term.value)
-    if isinstance(term, T.Var):
-        if term.name in assignment:
-            value = assignment[term.name]
-            return Interval(value, value)
-        return domains.get(term.name, Interval(0, 10**9))
-    if isinstance(term, T.Add):
-        result = Interval(0, 0)
-        for sub in term.terms:
-            result = _interval_add(result, _term_interval(sub, assignment, domains))
-        return result
-    if isinstance(term, T.Mul):
-        result = Interval(1, 1)
-        for sub in term.terms:
-            result = _interval_mul(result, _term_interval(sub, assignment, domains))
-        return result
-    raise TypeError(f"unknown term: {term!r}")
-
-
-def _compare(op: str, lhs: Interval, rhs: Interval):
-    """Three-valued comparison of two intervals."""
-    if op == "<=":
-        if lhs.hi <= rhs.lo:
-            return True
-        if lhs.lo > rhs.hi:
-            return False
-        return UNKNOWN
-    if op == "<":
-        if lhs.hi < rhs.lo:
-            return True
-        if lhs.lo >= rhs.hi:
-            return False
-        return UNKNOWN
-    if op == ">=":
-        return _compare("<=", rhs, lhs)
-    if op == ">":
-        return _compare("<", rhs, lhs)
-    if op == "==":
-        if lhs.lo == lhs.hi == rhs.lo == rhs.hi:
-            return True
-        if lhs.hi < rhs.lo or lhs.lo > rhs.hi:
-            return False
-        return UNKNOWN
-    if op == "!=":
-        result = _compare("==", lhs, rhs)
-        if result is UNKNOWN:
-            return UNKNOWN
-        return not result
-    raise ValueError(f"unknown comparison operator {op!r}")
-
-
-def _evaluate(
-    formula: T.Formula, assignment: Dict[str, int], domains: Dict[str, Interval]
-):
-    """Three-valued evaluation of a formula under a partial assignment."""
-    if isinstance(formula, T.BoolConst):
-        return formula.value
-    if isinstance(formula, T.Cmp):
-        return _compare(
-            formula.op,
-            _term_interval(formula.lhs, assignment, domains),
-            _term_interval(formula.rhs, assignment, domains),
-        )
-    if isinstance(formula, T.AndF):
-        result = True
-        for part in formula.parts:
-            value = _evaluate(part, assignment, domains)
-            if value is False:
-                return False
-            if value is UNKNOWN:
-                result = UNKNOWN
-        return result
-    if isinstance(formula, T.OrF):
-        result = False
-        for part in formula.parts:
-            value = _evaluate(part, assignment, domains)
-            if value is True:
-                return True
-            if value is UNKNOWN:
-                result = UNKNOWN
-        return result
-    if isinstance(formula, T.NotF):
-        value = _evaluate(formula.arg, assignment, domains)
-        if value is UNKNOWN:
-            return UNKNOWN
-        return not value
-    if isinstance(formula, T.Exists):
-        return _evaluate(formula.body, assignment, domains)
-    raise TypeError(f"unknown formula: {formula!r}")
-
-
-def _components(
-    formula: T.Formula, unassigned: set[str], assignment: Dict[str, int]
-) -> list[tuple[set[str], T.Formula]]:
-    """Split a top-level conjunction into variable-connected components.
-
-    Only conjunctions can be decomposed; any other shape yields a single
-    component.  Conjuncts whose unassigned variables overlap are merged via
-    union-find.
-    """
-    if not isinstance(formula, T.AndF):
-        return [(set(T.var_names(formula)) & unassigned, formula)]
-
-    parts = list(formula.parts)
-    part_vars = [set(T.var_names(part)) & unassigned for part in parts]
-
-    parent = list(range(len(parts)))
-
-    def find(i: int) -> int:
-        while parent[i] != i:
-            parent[i] = parent[parent[i]]
-            i = parent[i]
-        return i
-
-    def union(i: int, j: int) -> None:
-        parent[find(i)] = find(j)
-
-    owner: dict[str, int] = {}
-    for index, variables in enumerate(part_vars):
-        for name in variables:
-            if name in owner:
-                union(index, owner[name])
-            else:
-                owner[name] = index
-
-    groups: dict[int, list[int]] = {}
-    for index in range(len(parts)):
-        groups.setdefault(find(index), []).append(index)
-
-    components: list[tuple[set[str], T.Formula]] = []
-    for indices in groups.values():
-        variables = set().union(*(part_vars[i] for i in indices)) if indices else set()
-        if not variables:
-            continue  # fully assigned conjuncts were already checked by _evaluate
-        component_formula = T.conjoin([parts[i] for i in indices])
-        components.append((variables, component_formula))
-    if not components:
-        return [(set(), formula)]
-    return components
+        ``prefer`` and ``deadline`` are forwarded to :meth:`solve`, so
+        feasibility probes respect scheduler slices exactly like model
+        enumeration does.
+        """
+        return self.solve(formula, domains, prefer=prefer, deadline=deadline) is not None

@@ -5,178 +5,379 @@ variable ``x`` such that: *if* some instantiation of ``P``'s symbolic integers
 matches a string ``s``, then those integer values satisfy ``φ[len(s)/x]``
 (Theorem 10.4).  The formula is therefore an over-approximation used to prune
 infeasible integer assignments, never to prove feasibility.
+
+Two optimisations on top of the paper's presentation:
+
+* **Per-subtree encoding cache.**  Hash-consing (PR 3) makes every partial
+  regex node a canonical object, so the canonical encoding of each subtree —
+  with temporary length variables numbered relative to the subtree — is
+  cached per interned node and reused across examples, sibling partials, and
+  repeated ``InferConstants`` calls; instantiating a copy is a cheap variable
+  renaming rather than a re-walk of the regex.
+* **Fixed-length children of the Repeat family.**  When the repeated subtree
+  is concrete with a single possible match length ``L`` (a character class, a
+  literal string, …), the bound ``x1·k ≤ x ≤ x1_hi·k`` collapses to
+  ``L·k ≤ x ≤ L·k`` and the two duplicated child encodings (the ``φ1`` /
+  ``φ1_hi`` copies that exist only to let the lower and upper bounds pick
+  different child lengths) are not emitted at all.
 """
 
 from __future__ import annotations
 
-from itertools import count
-from typing import Dict, Iterable, Tuple
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.dsl import ast as rast
 from repro.solver import terms as T
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.examples import Examples
-from repro.synthesis.partial import PartialRegex, PLeaf, POp, SymInt
+from repro.synthesis.partial import PartialRegex, PLeaf, POp, SymInt, symints_of
 
 
-class _Encoder:
-    """One encoding pass; generates fresh length variables with a common prefix."""
+#: Prefix marking canonical (cache-internal) temporary variables.  The
+#: instantiation step renames them to ``{prefix}x{i}``; the marker can never
+#: collide with a symbolic-integer name.
+_TEMP = "\x00"
 
-    def __init__(self, prefix: str, max_kappa: int):
-        self._counter = count(0)
-        self.prefix = prefix
+
+@dataclass
+class _EncodeCacheStats:
+    """Hit/miss counters of the per-subtree encoding cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+ENCODE_CACHE_STATS = _EncodeCacheStats()
+
+
+@dataclass(frozen=True)
+class _CachedEncoding:
+    """Canonical encoding of one interned subtree.
+
+    ``formula`` uses temp variables ``\\x00·0 … \\x00·(n_temps-1)`` (the root
+    length variable is index 0) and real symbolic-integer names.
+    """
+
+    formula: T.Formula
+    n_temps: int
+    kappas: frozenset
+
+
+#: Canonical encodings per interned node, keyed (node, max_kappa).  Weak keys
+#: so the cache cannot outlive the search states it describes.
+_ENCODING_CACHE: "weakref.WeakKeyDictionary[object, Dict[int, _CachedEncoding]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _temp(index: int) -> T.Var:
+    return T.Var(f"{_TEMP}{index}")
+
+
+def _rename_term(term: T.Term, rename) -> T.Term:
+    """Rewrite every temp-variable name of a term through ``rename``."""
+    if isinstance(term, T.Var):
+        if term.name.startswith(_TEMP):
+            return T.Var(rename(term.name))
+        return term
+    if isinstance(term, T.Const):
+        return term
+    if isinstance(term, T.Add):
+        return T.Add(tuple(_rename_term(t, rename) for t in term.terms))
+    if isinstance(term, T.Mul):
+        return T.Mul(tuple(_rename_term(t, rename) for t in term.terms))
+    raise TypeError(f"unknown term: {term!r}")
+
+
+def _rename(formula: T.Formula, rename) -> T.Formula:
+    """Rewrite every temp-variable name of a formula through ``rename``."""
+    if isinstance(formula, T.BoolConst):
+        return formula
+    if isinstance(formula, T.Cmp):
+        return T.Cmp(
+            formula.op,
+            _rename_term(formula.lhs, rename),
+            _rename_term(formula.rhs, rename),
+        )
+    if isinstance(formula, T.AndF):
+        return T.AndF(tuple(_rename(p, rename) for p in formula.parts))
+    if isinstance(formula, T.OrF):
+        return T.OrF(tuple(_rename(p, rename) for p in formula.parts))
+    if isinstance(formula, T.NotF):
+        return T.NotF(_rename(formula.arg, rename))
+    raise TypeError(f"unknown formula: {formula!r}")
+
+
+def _shift(formula: T.Formula, offset: int) -> T.Formula:
+    """Renumber a cached formula's temp variables by ``offset``."""
+    if offset == 0:
+        return formula
+    return _rename(formula, lambda name: f"{_TEMP}{int(name[1:]) + offset}")
+
+
+# ---------------------------------------------------------------------------
+# Fixed-length analysis of concrete regexes
+# ---------------------------------------------------------------------------
+
+def _fixed_length(regex: rast.Regex) -> Optional[int]:
+    """The single match length of ``regex``, or None when lengths vary.
+
+    Sound to over-report only for empty languages (a regex that matches
+    nothing makes any length claim vacuously true), which keeps the collapsed
+    Repeat encoding a valid over-approximation.
+    """
+    if isinstance(regex, rast.CharClass):
+        return 1
+    if isinstance(regex, rast.Epsilon):
+        return 0
+    if isinstance(regex, rast.Concat):
+        left = _fixed_length(regex.left)
+        right = _fixed_length(regex.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(regex, (rast.Or, rast.And)):
+        left = _fixed_length(regex.left)
+        right = _fixed_length(regex.right)
+        if left is not None and left == right:
+            return left
+        return None
+    if isinstance(regex, rast.Repeat):
+        inner = _fixed_length(regex.arg)
+        if inner is not None and isinstance(regex.count, int):
+            return inner * regex.count
+        return None
+    if isinstance(regex, rast.RepeatRange):
+        inner = _fixed_length(regex.arg)
+        if inner == 0:
+            return 0
+        if (
+            inner is not None
+            and isinstance(regex.low, int)
+            and regex.low == regex.high
+        ):
+            return inner * regex.low
+        return None
+    if isinstance(regex, (rast.Optional, rast.KleeneStar, rast.RepeatAtLeast)):
+        inner = _fixed_length(regex.arg)
+        return 0 if inner == 0 else None
+    return None
+
+
+def _leaf_fixed_length(node) -> Optional[int]:
+    """Fixed length of a Repeat-family child, when it is concrete."""
+    if isinstance(node, PLeaf):
+        return _fixed_length(node.regex)
+    if isinstance(node, rast.Regex):
+        return _fixed_length(node)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Canonical (cached) encoding
+# ---------------------------------------------------------------------------
+
+class _Builder:
+    """Builds one node's canonical encoding from its children's encodings."""
+
+    def __init__(self, max_kappa: int):
         self.max_kappa = max_kappa
-        self.kappa_names: set[str] = set()
+        self.parts: list[T.Formula] = []
+        self.kappas: set = set()
+        self.n_temps = 1  # index 0 is the node's own length variable
 
-    def fresh(self) -> str:
-        return f"{self.prefix}x{next(self._counter)}"
+    def child(self, node) -> T.Var:
+        """Inline a child's cached encoding; returns its (shifted) root var."""
+        child_enc = _canonical(node, self.max_kappa)
+        offset = self.n_temps
+        self.n_temps += child_enc.n_temps
+        self.kappas |= child_enc.kappas
+        self.parts.append(_shift(child_enc.formula, offset))
+        return _temp(offset)
 
-    # -- integer arguments --------------------------------------------------
-
-    def _int_term(self, value: int | SymInt) -> Tuple[T.Term, T.Formula]:
+    def int_term(self, value) -> T.Term:
         if isinstance(value, SymInt):
-            self.kappa_names.add(value.name)
-            bounds = T.conjoin([
-                T.Cmp(">=", T.Var(value.name), T.Const(1)),
-                T.Cmp("<=", T.Var(value.name), T.Const(self.max_kappa)),
-            ])
-            return T.Var(value.name), bounds
-        return T.Const(value), T.TRUE
+            self.kappas.add(value.name)
+            self.parts.append(T.Cmp(">=", T.Var(value.name), T.Const(1)))
+            self.parts.append(T.Cmp("<=", T.Var(value.name), T.Const(self.max_kappa)))
+            return T.Var(value.name)
+        return T.Const(value)
 
-    # -- nodes ---------------------------------------------------------------
+    def done(self, *constraints: T.Formula) -> _CachedEncoding:
+        formula = T.conjoin([*constraints, *self.parts])
+        return _CachedEncoding(formula, self.n_temps, frozenset(self.kappas))
 
-    def encode(self, node: PartialRegex | rast.Regex) -> Tuple[T.Formula, str]:
-        """Encode a partial regex node or a concrete regex; returns (φ, x)."""
-        if isinstance(node, PLeaf):
-            return self.encode(node.regex)
-        if isinstance(node, POp):
-            return self._encode_op(
-                node.op,
-                list(node.children),
-                list(node.ints),
-            )
-        if isinstance(node, rast.Regex):
-            return self._encode_regex(node)
-        raise TypeError(f"cannot encode {node!r}")
 
-    def _encode_regex(self, regex: rast.Regex) -> Tuple[T.Formula, str]:
-        if isinstance(regex, rast.CharClass):
-            x = self.fresh()
-            return T.Cmp("==", T.Var(x), T.Const(1)), x
-        if isinstance(regex, rast.Epsilon):
-            x = self.fresh()
-            return T.Cmp("==", T.Var(x), T.Const(0)), x
-        if isinstance(regex, rast.EmptySet):
-            x = self.fresh()
-            return T.TRUE, x
-        name = type(regex).__name__
-        children = list(regex.children())
-        ints: list[int | SymInt] = []
-        if isinstance(regex, (rast.Repeat, rast.RepeatAtLeast)):
-            ints = [regex.count]
-        elif isinstance(regex, rast.RepeatRange):
-            ints = [regex.low, regex.high]
-        return self._encode_op(name, children, ints)
+def _canonical(node, max_kappa: int) -> _CachedEncoding:
+    """Cached canonical encoding of one interned node."""
+    per_node = _ENCODING_CACHE.get(node)
+    if per_node is not None:
+        cached = per_node.get(max_kappa)
+        if cached is not None:
+            ENCODE_CACHE_STATS.hits += 1
+            return cached
+    ENCODE_CACHE_STATS.misses += 1
+    encoding = _encode_node(node, max_kappa)
+    if per_node is None:
+        per_node = {}
+        try:
+            _ENCODING_CACHE[node] = per_node
+        except TypeError:  # non-weakrefable nodes are simply not cached
+            return encoding
+    per_node[max_kappa] = encoding
+    return encoding
 
-    def _encode_op(
-        self,
-        op: str,
-        children: list,
-        ints: list,
-    ) -> Tuple[T.Formula, str]:
-        x = self.fresh()
-        xt = T.Var(x)
 
-        if op == "Not":
-            # Tracking length constraints under negation would require
-            # sufficient rather than necessary conditions (Section 4.2).
-            return T.TRUE, x
+def _encode_node(node, max_kappa: int) -> _CachedEncoding:
+    if isinstance(node, PLeaf):
+        return _canonical(node.regex, max_kappa)
+    if isinstance(node, POp):
+        return _encode_op(node.op, list(node.children), list(node.ints), max_kappa)
+    if isinstance(node, rast.Regex):
+        return _encode_regex(node, max_kappa)
+    raise TypeError(f"cannot encode {node!r}")
 
-        if op in ("StartsWith", "EndsWith", "Contains"):
-            phi1, x1 = self.encode(children[0])
-            return T.conjoin([T.Cmp(">=", xt, T.Var(x1)), phi1]), x
 
-        if op == "Optional":
-            phi1, x1 = self.encode(children[0])
-            either = T.disjoin([
-                T.Cmp("==", xt, T.Const(0)),
-                T.Cmp("==", xt, T.Var(x1)),
-            ])
-            return T.conjoin([either, phi1]), x
+def _encode_regex(regex: rast.Regex, max_kappa: int) -> _CachedEncoding:
+    if isinstance(regex, rast.CharClass):
+        return _CachedEncoding(T.Cmp("==", _temp(0), T.Const(1)), 1, frozenset())
+    if isinstance(regex, rast.Epsilon):
+        return _CachedEncoding(T.Cmp("==", _temp(0), T.Const(0)), 1, frozenset())
+    if isinstance(regex, rast.EmptySet):
+        return _CachedEncoding(T.TRUE, 1, frozenset())
+    name = type(regex).__name__
+    children = list(regex.children())
+    ints: list = []
+    if isinstance(regex, (rast.Repeat, rast.RepeatAtLeast)):
+        ints = [regex.count]
+    elif isinstance(regex, rast.RepeatRange):
+        ints = [regex.low, regex.high]
+    return _encode_op(name, children, ints, max_kappa)
 
-        if op == "KleeneStar":
-            phi1, x1 = self.encode(children[0])
-            either = T.disjoin([
-                T.Cmp("==", xt, T.Const(0)),
-                T.Cmp(">=", xt, T.Var(x1)),
-            ])
-            return T.conjoin([either, phi1]), x
 
-        if op == "Concat":
-            phi1, x1 = self.encode(children[0])
-            phi2, x2 = self.encode(children[1])
-            total = T.Cmp("==", xt, T.Add((T.Var(x1), T.Var(x2))))
-            return T.conjoin([total, phi1, phi2]), x
+def _encode_op(op: str, children: list, ints: list, max_kappa: int) -> _CachedEncoding:
+    builder = _Builder(max_kappa)
+    xt = _temp(0)
 
-        if op == "Or":
-            phi1, x1 = self.encode(children[0])
-            phi2, x2 = self.encode(children[1])
-            either = T.disjoin([
-                T.Cmp("==", xt, T.Var(x1)),
-                T.Cmp("==", xt, T.Var(x2)),
-            ])
-            return T.conjoin([either, phi1, phi2]), x
+    if op == "Not":
+        # Tracking length constraints under negation would require
+        # sufficient rather than necessary conditions (Section 4.2).
+        return builder.done(T.TRUE)
 
-        if op == "And":
-            phi1, x1 = self.encode(children[0])
-            phi2, x2 = self.encode(children[1])
-            both = T.conjoin([
-                T.Cmp("==", xt, T.Var(x1)),
-                T.Cmp("==", xt, T.Var(x2)),
-            ])
-            return T.conjoin([both, phi1, phi2]), x
+    if op in ("StartsWith", "EndsWith", "Contains"):
+        x1 = builder.child(children[0])
+        return builder.done(T.Cmp(">=", xt, x1))
 
-        if op == "Repeat":
-            phi1, x1 = self.encode(children[0])
-            phi1_hi, x1_hi = self.encode(children[0])
-            k_term, k_bounds = self._int_term(ints[0])
-            lower = T.Cmp(">=", xt, T.Mul((T.Var(x1), k_term)))
-            upper = T.Cmp("<=", xt, T.Mul((T.Var(x1_hi), k_term)))
-            return T.conjoin([lower, upper, phi1, phi1_hi, k_bounds]), x
+    if op == "Optional":
+        x1 = builder.child(children[0])
+        either = T.disjoin([
+            T.Cmp("==", xt, T.Const(0)),
+            T.Cmp("==", xt, x1),
+        ])
+        return builder.done(either)
 
-        if op == "RepeatAtLeast":
-            phi1, x1 = self.encode(children[0])
-            k_term, k_bounds = self._int_term(ints[0])
-            lower = T.Cmp(">=", xt, T.Mul((T.Var(x1), k_term)))
-            return T.conjoin([lower, phi1, k_bounds]), x
+    if op == "KleeneStar":
+        x1 = builder.child(children[0])
+        either = T.disjoin([
+            T.Cmp("==", xt, T.Const(0)),
+            T.Cmp(">=", xt, x1),
+        ])
+        return builder.done(either)
 
-        if op == "RepeatRange":
-            phi1, x1 = self.encode(children[0])
-            phi1_hi, x1_hi = self.encode(children[0])
-            k1_term, k1_bounds = self._int_term(ints[0])
-            k2_term, k2_bounds = self._int_term(ints[1])
-            lower = T.Cmp(">=", xt, T.Mul((T.Var(x1), k1_term)))
-            upper = T.Cmp("<=", xt, T.Mul((T.Var(x1_hi), k2_term)))
-            ordered = T.Cmp("<=", k1_term, k2_term)
-            return T.conjoin([lower, upper, ordered, phi1, phi1_hi, k1_bounds, k2_bounds]), x
+    if op == "Concat":
+        x1 = builder.child(children[0])
+        x2 = builder.child(children[1])
+        return builder.done(T.Cmp("==", xt, T.Add((x1, x2))))
 
-        raise ValueError(f"unknown operator {op!r}")
+    if op == "Or":
+        x1 = builder.child(children[0])
+        x2 = builder.child(children[1])
+        either = T.disjoin([
+            T.Cmp("==", xt, x1),
+            T.Cmp("==", xt, x2),
+        ])
+        return builder.done(either)
+
+    if op == "And":
+        x1 = builder.child(children[0])
+        x2 = builder.child(children[1])
+        both = T.conjoin([
+            T.Cmp("==", xt, x1),
+            T.Cmp("==", xt, x2),
+        ])
+        return builder.done(both)
+
+    if op == "Repeat":
+        fixed = _leaf_fixed_length(children[0])
+        k_term = builder.int_term(ints[0])
+        if fixed is not None:
+            return builder.done(T.Cmp("==", xt, T.Mul((T.Const(fixed), k_term))))
+        x1 = builder.child(children[0])
+        x1_hi = builder.child(children[0])
+        lower = T.Cmp(">=", xt, T.Mul((x1, k_term)))
+        upper = T.Cmp("<=", xt, T.Mul((x1_hi, k_term)))
+        return builder.done(lower, upper)
+
+    if op == "RepeatAtLeast":
+        fixed = _leaf_fixed_length(children[0])
+        k_term = builder.int_term(ints[0])
+        if fixed is not None:
+            return builder.done(T.Cmp(">=", xt, T.Mul((T.Const(fixed), k_term))))
+        x1 = builder.child(children[0])
+        lower = T.Cmp(">=", xt, T.Mul((x1, k_term)))
+        return builder.done(lower)
+
+    if op == "RepeatRange":
+        fixed = _leaf_fixed_length(children[0])
+        k1_term = builder.int_term(ints[0])
+        k2_term = builder.int_term(ints[1])
+        ordered = T.Cmp("<=", k1_term, k2_term)
+        if fixed is not None:
+            lower = T.Cmp(">=", xt, T.Mul((T.Const(fixed), k1_term)))
+            upper = T.Cmp("<=", xt, T.Mul((T.Const(fixed), k2_term)))
+            return builder.done(lower, upper, ordered)
+        x1 = builder.child(children[0])
+        x1_hi = builder.child(children[0])
+        lower = T.Cmp(">=", xt, T.Mul((x1, k1_term)))
+        upper = T.Cmp("<=", xt, T.Mul((x1_hi, k2_term)))
+        return builder.done(lower, upper, ordered)
+
+    raise ValueError(f"unknown operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Instantiation (canonical → per-example variable names)
+# ---------------------------------------------------------------------------
+
+def _instantiate(formula: T.Formula, prefix: str) -> T.Formula:
+    """Rename canonical temps to the per-example ``{prefix}x{i}`` names."""
+    return _rename(formula, lambda name: f"{prefix}x{name[1:]}")
 
 
 def encode_partial(
     partial: PartialRegex, max_kappa: int = 20, prefix: str = ""
-) -> Tuple[T.Formula, str, set[str]]:
-    """Encode one symbolic regex; returns ``(φ, x0, kappa_names)``."""
-    encoder = _Encoder(prefix, max_kappa)
-    formula, root = encoder.encode(partial)
-    return formula, root, encoder.kappa_names
+) -> Tuple[T.Formula, str, set]:
+    """Encode one symbolic regex; returns ``(φ, x0, kappa_names)``.
+
+    Temporary length variables are named ``{prefix}x{i}`` with the root at
+    index 0; symbolic integers keep their own names (they are shared across
+    examples).
+    """
+    cached = _canonical(partial, max_kappa)
+    return _instantiate(cached.formula, prefix), f"{prefix}x0", set(cached.kappas)
 
 
 def constraint_for_examples(
     partial: PartialRegex,
     examples: Examples,
     config: SynthesisConfig,
-) -> Tuple[T.Formula, Dict[str, Tuple[int, int]], set[str]]:
+) -> Tuple[T.Formula, Dict[str, Tuple[int, int]], set]:
     """The constraint ``ψ0`` of Figure 14 (line 2).
 
     The encoding is instantiated once per positive example with fresh
@@ -185,17 +386,26 @@ def constraint_for_examples(
     """
     parts: list[T.Formula] = []
     domains: Dict[str, Tuple[int, int]] = {}
-    kappas: set[str] = set()
+    kappas: set = set()
     max_len = max(examples.max_positive_length(), 1)
+    cached = _canonical(partial, config.max_kappa)
     for index, example in enumerate(examples.positive):
-        formula, root, kappa_names = encode_partial(
-            partial, config.max_kappa, prefix=f"e{index}_"
+        prefix = f"e{index}_"
+        formula = _instantiate(cached.formula, prefix)
+        root = f"{prefix}x0"
+        parts.append(
+            T.conjoin([formula, T.Cmp("==", T.Var(root), T.Const(len(example)))])
         )
-        parts.append(T.conjoin([formula, T.Cmp("==", T.Var(root), T.Const(len(example)))]))
-        kappas |= kappa_names
-        for name in T.var_names(formula) | {root}:
-            if name not in kappa_names:
-                domains[name] = (0, max(max_len, len(example)))
+        bound = (0, max(max_len, len(example)))
+        for i in range(cached.n_temps):
+            domains[f"{prefix}x{i}"] = bound
+        kappas |= cached.kappas
+    # Every symbolic integer of the regex gets the κ domain [1, MAX], even
+    # when the encoding never mentions it (κ under ``Not`` encodes to TRUE):
+    # blocking clauses introduce such variables later, and without the domain
+    # they would be enumerated from 0, which no DSL operator accepts.
+    for sym in symints_of(partial):
+        kappas.add(sym.name)
     for name in kappas:
         domains[name] = (1, config.max_kappa)
     return T.conjoin(parts), domains, kappas

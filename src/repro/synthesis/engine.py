@@ -28,6 +28,7 @@ from repro.solver import Solver
 from repro.synthesis.approximate import APPROX_CACHE_STATS, infeasible
 from repro.synthesis.config import EngineVariant, SynthesisConfig
 from repro.synthesis.examples import Examples
+from repro.synthesis.encode import ENCODE_CACHE_STATS
 from repro.synthesis.expand import SymIntFactory, expand, initial_partial
 from repro.synthesis.infer_constants import infer_constants
 from repro.synthesis.partial import (
@@ -64,6 +65,13 @@ class SynthesisResult:
     eval_cache_misses: int = 0
     #: Per-subtree approximation cache hits attributed to this run.
     approx_cache_hits: int = 0
+    #: Solver propagation/conflict counts attributed to this run (the new
+    #: bounds-propagating solver narrows domains instead of enumerating them;
+    #: these counters are how that work is observed).
+    solver_propagations: int = 0
+    solver_conflicts: int = 0
+    #: Figure-13 encoding-cache hits attributed to this run.
+    encode_cache_hits: int = 0
 
     @property
     def solved(self) -> bool:
@@ -137,6 +145,10 @@ class SynthesisRun:
         slice_expansions = 0
         eval_hits_base, eval_misses_base = examples.eval_cache_stats()
         approx_hits_base = APPROX_CACHE_STATS.hits
+        solver_stats = self.solver.stats
+        propagations_base = solver_stats.propagations
+        conflicts_base = solver_stats.conflicts
+        encode_hits_base = ENCODE_CACHE_STATS.hits
 
         while self._worklist and not self._done:
             if result.expansions >= config.max_expansions:
@@ -191,6 +203,9 @@ class SynthesisRun:
         result.eval_cache_hits += eval_hits - eval_hits_base
         result.eval_cache_misses += eval_misses - eval_misses_base
         result.approx_cache_hits += APPROX_CACHE_STATS.hits - approx_hits_base
+        result.solver_propagations += solver_stats.propagations - propagations_base
+        result.solver_conflicts += solver_stats.conflicts - conflicts_base
+        result.encode_cache_hits += ENCODE_CACHE_STATS.hits - encode_hits_base
         # NB: result.regexes is append-only across steps (no re-sorting here);
         # incremental consumers rely on stable indices to detect new finds.
         return result

@@ -7,23 +7,54 @@ keeps only assignments whose (partially concretised) regexes survive the
 approximation-based feasibility check.  The returned concrete regexes still
 have to be validated against the examples by the main loop — the constraint is
 an over-approximation, not a proof of consistency.
+
+The enumeration is **incremental**: the constraint ψ0 is compiled once into a
+:class:`~repro.solver.solver.SolverInstance`, and the Figure-14 blocking
+clauses (``κ != v``) and pins (``κ == v``) travel through the worklist as
+assumption literals over that one compiled store — nothing is rebuilt,
+re-flattened, or re-decomposed per model.
 """
 
 from __future__ import annotations
 
-from typing import List
+import time
+from typing import List, Tuple
 
-from repro.solver import Solver, terms as T
+from repro.solver import Solver
+from repro.solver.solver import Literal
 from repro.synthesis.approximate import infeasible
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.encode import constraint_for_examples
 from repro.synthesis.examples import Examples
 from repro.synthesis.partial import (
     PartialRegex,
+    POp,
+    SymInt,
     is_concrete,
     substitute_symint,
     symints_of,
+    walk,
 )
+
+
+def _ints_valid(partial: PartialRegex) -> bool:
+    """DSL integer invariants on the concretised values so far.
+
+    The encoding is an over-approximation and κ occurrences under ``Not``
+    are not constrained at all, so a model can propose values no DSL
+    operator accepts (``Repeat`` counts < 1, ``RepeatRange`` bounds out of
+    order).  Such candidates are discarded; their blocking clause still
+    advances the enumeration.
+    """
+    for node in walk(partial):
+        if not isinstance(node, POp):
+            continue
+        ints = [value for value in node.ints if not isinstance(value, SymInt)]
+        if any(value < 1 for value in ints):
+            return False
+        if node.op == "RepeatRange" and len(ints) == 2 and ints[0] > ints[1]:
+            return False
+    return True
 
 
 def infer_constants(
@@ -35,8 +66,8 @@ def infer_constants(
 ) -> List[PartialRegex]:
     """Enumerate feasible concretisations of a symbolic regex.
 
-    Mirrors Figure 14: a worklist of ``(symbolic regex, constraint)`` pairs is
-    made increasingly concrete one symbolic integer at a time; blocking
+    Mirrors Figure 14: a worklist of ``(symbolic regex, assumptions)`` pairs
+    is made increasingly concrete one symbolic integer at a time; blocking
     clauses force the solver to produce different values for the chosen
     integer, and partially concretised regexes that the approximation check
     refutes are dropped together with every extension.  ``deadline`` (a
@@ -44,53 +75,50 @@ def infer_constants(
     has been found, so a scheduler's time slice bounds even this, the
     engine's most expensive single step.
     """
-    import time
-
     solver = solver or Solver()
-    formula, domains, _ = constraint_for_examples(partial, examples, config)
+    formula, domains, kappas = constraint_for_examples(partial, examples, config)
+    instance = solver.compile(formula, domains, shared=kappas)
     results: List[PartialRegex] = []
-    worklist: List[tuple[PartialRegex, T.Formula]] = [(partial, formula)]
+    worklist: List[tuple[PartialRegex, Tuple[Literal, ...]]] = [(partial, ())]
     budget = config.max_models_per_symbolic
 
     while worklist and budget > 0:
         if deadline is not None and time.monotonic() > deadline:
             break
-        current, constraint = worklist.pop()
-        kappas = symints_of(current)
-        if not kappas:
+        current, assumptions = worklist.pop()
+        current_kappas = symints_of(current)
+        if not current_kappas:
             continue
-        prefer = [kappa.name for kappa in kappas]
+        prefer = [kappa.name for kappa in current_kappas]
         try:
-            model = solver.solve(constraint, domains, prefer=prefer, deadline=deadline)
+            model = instance.solve(assumptions, prefer=prefer, deadline=deadline)
         except RuntimeError:
             # Step or deadline budget exceeded: treat as UNSAT for this branch.
             continue
         if model is None:
             continue
         budget -= 1
-        kappa = kappas[0]
+        kappa = current_kappas[0]
         value = model.get(kappa.name)
         if value is None:
             # The formula does not mention this κ (it can happen that no
             # positive example pins the length of the branch it occurs in),
             # so the model omits it; any in-domain value satisfies the
-            # constraint — take the smallest.  The blocking clause below then
-            # introduces the variable, so later models enumerate the rest.
+            # constraint — take the smallest.  The blocking literal below
+            # then introduces the variable, so later models enumerate the
+            # rest.
             value = domains.get(kappa.name, (1, config.max_kappa))[0]
         concretised = substitute_symint(current, kappa.name, value)
 
-        # Keep exploring other values of this symbolic integer (blocking clause).
-        blocked = T.conjoin(
-            [constraint, T.NotF(T.Cmp("==", T.Var(kappa.name), T.Const(value)))]
-        )
-        worklist.append((current, blocked))
+        # Keep exploring other values of this symbolic integer (a blocking
+        # clause, as a cheap assumption literal over the compiled store).
+        worklist.append((current, assumptions + ((kappa.name, "!=", value),)))
 
+        if not _ints_valid(concretised):
+            continue
         if is_concrete(concretised):
             results.append(concretised)
             continue
         if not infeasible(concretised, examples, config):
-            pinned = T.conjoin(
-                [constraint, T.Cmp("==", T.Var(kappa.name), T.Const(value))]
-            )
-            worklist.append((concretised, pinned))
+            worklist.append((concretised, assumptions + ((kappa.name, "==", value),)))
     return results
