@@ -4,9 +4,11 @@ The one engine benchmark driver (it subsumes the former
 ``bench_engine_micro.py`` pytest-benchmark file, now removed): the
 approximation check, symbolic-constant inference (plus a heavier variant with
 three symbolic integers that exercises the solver's propagation and
-incremental re-solving), and the full Section-2 motivating-example sketch
-completion, all without requiring pytest-benchmark.  The numbers are written
-to a JSON report (``BENCH_engine.json`` at the repository root by default).
+incremental re-solving), the full Section-2 motivating-example sketch
+completion, and a ``service_roundtrip`` workload that solves one problem over
+the live HTTP service cold and then from the persistent result cache, all
+without requiring pytest-benchmark.  The numbers are written to a JSON report
+(``BENCH_engine.json`` at the repository root by default).
 
 The report accumulates labelled *snapshots* so a before/after trajectory can
 be committed alongside the code that produced it::
@@ -188,12 +190,74 @@ def bench_full_sketch_completion(repeats: int, evaluator: str | None) -> dict:
     return entry
 
 
+#: Service-roundtrip problem: slow enough cold (~2 s of portfolio search for
+#: three distinct regexes) that the cached second hit shows the full contrast.
+_SERVICE_PROBLEM = {
+    "description": "one or more letters followed by 3 digits",
+    "positive": ["ab123", "x987"],
+    "negative": ["123", "ab12", "ab1234"],
+    "k": 3,
+    "budget": 15.0,
+}
+
+
+def bench_service_roundtrip(repeats: int) -> dict:
+    """HTTP solve → cache write-through → cached re-solve, over a live server.
+
+    Starts the `repro.service` HTTP server on an ephemeral port with a fresh
+    cache, issues one cold ``POST /v1/solve`` (full portfolio search), then
+    ``repeats`` identical requests served from the persistent result cache.
+    ``seconds_min`` is the cached-hit latency (the number to track);
+    ``cache_speedup`` is cold / cached.
+    """
+    import tempfile
+
+    from repro.api import Problem
+    from repro.service import ServiceClient, ServiceConfig, start_server
+
+    problem = Problem.from_dict(_SERVICE_PROBLEM)
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(
+            port=0, workers=1, cache_backend="json", cache_path=tmp
+        )
+        server = start_server(config)
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            start = time.perf_counter()
+            cold = client.solve(problem)
+            cold_seconds = time.perf_counter() - start
+            assert cold.provenance == "engine", cold.provenance
+            assert cold.solved
+            cached_times = []
+            for _ in range(max(repeats, 3)):
+                start = time.perf_counter()
+                hit = client.solve(problem)
+                cached_times.append(time.perf_counter() - start)
+                assert hit.provenance == "cache", hit.provenance
+            cache_stats = client.stats()["cache"]
+        finally:
+            server.close()
+    cached_min = min(cached_times)
+    return {
+        "seconds_min": cached_min,
+        "seconds_mean": statistics.fmean(cached_times),
+        "repeats": len(cached_times),
+        "cold_seconds": cold_seconds,
+        "cache_speedup": cold_seconds / cached_min,
+        "cache_hits": cache_stats["hits"],
+        "cache_misses": cache_stats["misses"],
+        "solutions": len(cold.solutions),
+    }
+
+
 def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
     workloads = {
         "approximation_check": bench_approximation_check(repeats),
         "constant_inference": bench_constant_inference(repeats),
         "constant_inference_heavy": bench_constant_inference_heavy(repeats),
         "full_sketch_completion": bench_full_sketch_completion(repeats, None),
+        "service_roundtrip": bench_service_roundtrip(repeats),
     }
     supports_modes = "evaluator" in inspect.signature(Examples.__init__).parameters
     if supports_modes:

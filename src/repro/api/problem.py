@@ -11,6 +11,7 @@ replayed — the prerequisites for running synthesis as a service.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Mapping
@@ -84,6 +85,26 @@ class Problem:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON rendering: the service's canonical wire form.
+
+        Keys are sorted, separators are compact, and non-ASCII is escaped, so
+        two problems with equal field values always render byte-identically —
+        the property :meth:`cache_key` depends on.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+
+    def cache_key(self) -> str:
+        """Content-addressed identity of this problem (SHA-256 hex digest).
+
+        Equal problems hash equally regardless of field order or how the
+        problem was constructed (kwargs, ``from_dict``, ``from_json``), which
+        is what lets the service deduplicate identical requests across users.
+        """
+        return hashlib.sha256(self.canonical_json().encode("ascii")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "Problem":

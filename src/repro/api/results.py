@@ -147,6 +147,11 @@ class RunReport:
     elapsed: float = 0.0
     #: True when the run was cancelled before its budget elapsed.
     cancelled: bool = False
+    #: Where the report came from: ``"engine"`` for a fresh synthesis run,
+    #: ``"cache"`` when the service answered from its persistent result store.
+    provenance: str = "engine"
+    #: Canonical problem hash (set by the service; empty outside of it).
+    cache_key: str = ""
 
     @property
     def solved(self) -> bool:
@@ -197,6 +202,8 @@ class RunReport:
             "elapsed": self.elapsed,
             "cancelled": self.cancelled,
             "solved": self.solved,
+            "provenance": self.provenance,
+            "cache_key": self.cache_key,
         }
 
     @classmethod
@@ -208,6 +215,8 @@ class RunReport:
             sketches=[SketchReport.from_dict(entry) for entry in data.get("sketches", [])],
             elapsed=data.get("elapsed", 0.0),
             cancelled=data.get("cancelled", False),
+            provenance=data.get("provenance", "engine"),
+            cache_key=data.get("cache_key", ""),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

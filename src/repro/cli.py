@@ -1,11 +1,17 @@
-"""Command-line interface over the pipeline API.
+"""Command-line interface over the pipeline API and the HTTP service.
 
-Two subcommands:
+Four subcommands:
 
-* ``regel solve "description" --pos a --pos b --neg c`` — solve one problem;
-  ``--json`` emits the full machine-readable :class:`~repro.api.RunReport`,
+* ``regel solve "description" --pos a --pos b --neg c`` — solve one problem
+  in-process; ``--json`` emits the full machine-readable
+  :class:`~repro.api.RunReport`,
 * ``regel batch problems.json`` — solve a JSON array (or JSON-lines stream)
-  of problem specs, emitting one report per line (JSON lines).
+  of problem specs, emitting one report per line (JSON lines),
+* ``regel serve`` — run the HTTP/JSON service (worker pool + persistent
+  result cache; see ``docs/api.md`` and ``docs/deployment.md``),
+* ``regel client "description" --pos a --server URL`` — solve against a
+  running service; ``--poll`` streams partial solutions through the async
+  jobs API, ``--stats`` / ``--health`` query the service instead.
 
 For backwards compatibility, ``regel "description" --pos a`` (no subcommand)
 is treated as ``regel solve ...``.
@@ -95,6 +101,77 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--pbe-only", action="store_true", help="examples-only synthesis for every problem"
     )
     batch.add_argument("--sketches", type=int, default=25, help="number of sketches to try")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP/JSON synthesis service (see docs/api.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2, help="worker threads")
+    serve.add_argument(
+        "--queue-size", type=int, default=16,
+        help="bounded job queue; a full queue answers HTTP 429",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="interleaved",
+        help="scheduler run by each worker session",
+    )
+    serve.add_argument("--sketches", type=int, default=25, help="sketches per problem")
+    serve.add_argument(
+        "--cache-backend",
+        choices=["json", "sqlite", "null"],
+        default="json",
+        help="persistent result cache backend ('null' disables caching)",
+    )
+    serve.add_argument(
+        "--cache-path", default=None,
+        help="cache directory (json) or database file (sqlite)",
+    )
+    serve.add_argument(
+        "--cache-max-entries", type=int, default=1024,
+        help="LRU bound on cached reports",
+    )
+    serve.add_argument(
+        "--max-budget", type=float, default=120.0,
+        help="reject problems whose budget exceeds this many seconds",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="do not log one line per request"
+    )
+
+    client = subparsers.add_parser(
+        "client", help="solve a problem against a running `regel serve` instance"
+    )
+    client.add_argument(
+        "description", nargs="?", default=None,
+        help="natural-language description of the regex",
+    )
+    client.add_argument("--pos", action="append", default=[], help="positive example (repeatable)")
+    client.add_argument("--neg", action="append", default=[], help="negative example (repeatable)")
+    client.add_argument("-k", type=int, default=1, help="number of regexes to return")
+    client.add_argument("-t", "--timeout", type=float, default=20.0, help="time budget in seconds")
+    client.add_argument(
+        "--variant",
+        choices=[variant.value for variant in EngineVariant],
+        default=EngineVariant.FULL.value,
+        help="engine variant",
+    )
+    client.add_argument(
+        "--server", default="http://127.0.0.1:8765", help="base URL of the service"
+    )
+    client.add_argument(
+        "--poll", action="store_true",
+        help="submit an async job and stream partial solutions as they arrive",
+    )
+    client.add_argument("--json", action="store_true", help="emit the RunReport as JSON")
+    client.add_argument(
+        "--stats", action="store_true", help="print GET /v1/stats and exit"
+    )
+    client.add_argument(
+        "--health", action="store_true", help="print GET /v1/healthz and exit"
+    )
     return parser
 
 
@@ -174,10 +251,74 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        scheduler=args.scheduler,
+        sketches=args.sketches,
+        cache_backend=args.cache_backend,
+        cache_path=args.cache_path,
+        cache_max_entries=args.cache_max_entries,
+        max_budget=args.max_budget,
+        log_requests=not args.quiet,
+    )
+    return serve(config)
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.server)
+    if args.health:
+        print(json.dumps(client.healthz(), indent=2))
+        return 0
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2))
+        return 0
+    if args.description is None:
+        print("regel: error: client needs a description (or --stats/--health)", file=sys.stderr)
+        return 2
+    problem = Problem(
+        description=args.description,
+        positive=args.pos,
+        negative=args.neg,
+        k=args.k,
+        budget=args.timeout,
+        variant=args.variant,
+    )
+    if args.poll:
+        # Async job + polled partial solutions (the wire mirror of
+        # Session.iter_solutions).
+        for solution in client.iter_solutions(problem):
+            print(solution.regex, flush=True)
+        record = client.last_job or {}
+        report = record.get("report")
+        if args.json and report is not None:
+            print(json.dumps(report, indent=2))
+        return 0 if record.get("solutions") else 1
+    report = client.solve(problem)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        for solution in report.solutions:
+            print(solution.regex, flush=True)
+        if report.provenance == "cache":
+            print("(served from the persistent result cache)", file=sys.stderr)
+    if not report.solved:
+        print("no consistent regex found within the time budget", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv if argv is not None else sys.argv[1:])
     # Backwards compatibility: `regel "description" --pos ...` means `solve`.
-    if argv and argv[0] not in {"solve", "batch", "-h", "--help"}:
+    if argv and argv[0] not in {"solve", "batch", "serve", "client", "-h", "--help"}:
         argv = ["solve", *argv]
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -187,10 +328,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "batch":
             return _run_batch(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "client":
+            return _run_client(args)
         return _run_solve(args)
     except (SketchParseError, json.JSONDecodeError, ValueError, OSError) as exc:
         # User-input errors (bad sketch notation, malformed problem files,
-        # invalid budgets) get one clean line instead of a traceback.
+        # invalid budgets, unreachable servers) get one clean line instead of
+        # a traceback.
         print(f"regel: error: {exc}", file=sys.stderr)
         return 2
 

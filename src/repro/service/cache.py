@@ -1,0 +1,273 @@
+"""Persistent, Problem-keyed result cache.
+
+Identical regex-synthesis requests are extremely common (the same "phone
+number"/"date"/"decimal" problems arrive from many users), and a REGEL-style
+multi-modal solve is expensive — so deduplicating solved problems is the
+cheapest scaling lever the service has.  The cache is content-addressed:
+the key is :meth:`repro.api.Problem.cache_key` (SHA-256 of the canonical
+problem JSON) and the value is a completed :class:`~repro.api.RunReport`
+dict.
+
+Two persistent backends, both stdlib-only and safe under the service's
+thread pool:
+
+* :class:`JsonDirCache` — one ``<key>.json`` file per entry in a directory;
+  recency is tracked through file mtimes.  Trivially inspectable
+  (``cat``-able) and rsync-friendly.
+* :class:`SqliteCache` — a single SQLite file with an ``entries`` table;
+  recency and hit counts are columns.  Better for large caches (one file
+  handle, indexed eviction).
+
+Both enforce an LRU bound of ``max_entries`` and count hits/misses/stores/
+evictions, which flow into ``GET /v1/stats``.  Only *solved* reports are
+stored: cancelled runs answer a different question, and an
+unsolved-within-budget outcome depends on machine load at the time — caching
+it would permanently poison the entry for a problem that a calmer retry
+would solve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+class ResultCache:
+    """Base class: counter bookkeeping shared by every backend."""
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # Backend hooks ----------------------------------------------------------
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def _save(self, key: str, report: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _evict_lru(self) -> int:
+        """Drop least-recently-used entries down to the bound; return count."""
+        raise NotImplementedError
+
+    def _low_water(self) -> int:
+        """Eviction target once over the bound: 90% of ``max_entries``.
+
+        Evicting in batches instead of one-at-a-time keeps the steady-state
+        write path cheap — without this, every store at capacity would scan
+        the whole store to evict exactly one entry.
+        """
+        return max(1, (self.max_entries * 9) // 10)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # Public API -------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached report dict for ``key``, or None (counts hit/miss)."""
+        with self._lock:
+            report = self._load(key)
+            if report is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return report
+
+    def put(self, key: str, report: Dict[str, Any]) -> None:
+        """Store a completed report, evicting LRU entries past the bound."""
+        with self._lock:
+            self._save(key, report)
+            self.stores += 1
+            self.evictions += self._evict_lru()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "backend": type(self).BACKEND,
+                "entries": len(self),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+            }
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    BACKEND = "abstract"
+
+
+class NullCache(ResultCache):
+    """A disabled cache (``--cache-backend null``): misses always, stores nothing."""
+
+    BACKEND = "null"
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        return None
+
+    def _save(self, key: str, report: Dict[str, Any]) -> None:
+        pass
+
+    def _evict_lru(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+
+class JsonDirCache(ResultCache):
+    """One JSON file per cached report, LRU via file mtimes."""
+
+    BACKEND = "json"
+
+    def __init__(self, path: "str | Path", max_entries: int = 1024):
+        super().__init__(max_entries)
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, key: str) -> Path:
+        if not key.isalnum():
+            # Keys are hex digests; anything else must not touch the fs.
+            raise ValueError(f"malformed cache key: {key!r}")
+        return self.path / f"{key}.json"
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._entry(key)
+        try:
+            report = json.loads(entry.read_text(encoding="utf-8"))
+            os.utime(entry)  # refresh recency; entry may vanish externally
+        except (OSError, json.JSONDecodeError):
+            return None
+        return report
+
+    def _save(self, key: str, report: Dict[str, Any]) -> None:
+        entry = self._entry(key)
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(json.dumps(report), encoding="utf-8")
+        os.replace(tmp, entry)  # atomic: readers never see a partial file
+
+    def _evict_lru(self) -> int:
+        entries = list(self.path.glob("*.json"))
+        if len(entries) <= self.max_entries:
+            return 0  # steady state: no stat-sort on the write path
+        entries.sort(key=lambda path: path.stat().st_mtime)
+        evicted = 0
+        target = self._low_water()
+        while len(entries) - evicted > target:
+            try:
+                entries[evicted].unlink()
+            except OSError:
+                pass
+            evicted += 1
+        return evicted
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.json"))
+
+
+class SqliteCache(ResultCache):
+    """All reports in one SQLite file; recency and hit counts are columns."""
+
+    BACKEND = "sqlite"
+
+    def __init__(self, path: "str | Path", max_entries: int = 1024):
+        super().__init__(max_entries)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # The service's handler threads share this connection; every access
+        # happens under self._lock, so check_same_thread can be off.
+        self._db = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " key TEXT PRIMARY KEY,"
+            " report TEXT NOT NULL,"
+            " created REAL NOT NULL,"
+            " last_used REAL NOT NULL,"
+            " hit_count INTEGER NOT NULL DEFAULT 0)"
+        )
+        self._db.execute(
+            "CREATE INDEX IF NOT EXISTS entries_last_used ON entries(last_used)"
+        )
+        self._db.commit()
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        row = self._db.execute(
+            "SELECT report FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        self._db.execute(
+            "UPDATE entries SET last_used = ?, hit_count = hit_count + 1"
+            " WHERE key = ?",
+            (time.time(), key),
+        )
+        self._db.commit()
+        return json.loads(row[0])
+
+    def _save(self, key: str, report: Dict[str, Any]) -> None:
+        now = time.time()
+        self._db.execute(
+            "INSERT INTO entries(key, report, created, last_used, hit_count)"
+            " VALUES (?, ?, ?, ?, 0)"
+            " ON CONFLICT(key) DO UPDATE SET report = excluded.report,"
+            " last_used = excluded.last_used",
+            (key, json.dumps(report), now, now),
+        )
+        self._db.commit()
+
+    def _evict_lru(self) -> int:
+        (count,) = self._db.execute("SELECT COUNT(*) FROM entries").fetchone()
+        if count <= self.max_entries:
+            return 0
+        excess = count - self._low_water()
+        self._db.execute(
+            "DELETE FROM entries WHERE key IN"
+            " (SELECT key FROM entries ORDER BY last_used ASC LIMIT ?)",
+            (excess,),
+        )
+        self._db.commit()
+        return excess
+
+    def __len__(self) -> int:
+        (count,) = self._db.execute("SELECT COUNT(*) FROM entries").fetchone()
+        return count
+
+    def close(self) -> None:
+        self._db.close()
+
+
+#: Registry used by ``regel serve --cache-backend``.
+CACHE_BACKENDS = {
+    "json": JsonDirCache,
+    "sqlite": SqliteCache,
+}
+
+
+def make_cache(
+    backend: str, path: "str | Path", max_entries: int = 1024
+) -> ResultCache:
+    """Instantiate a cache backend by registry name (or ``"null"``)."""
+    if backend == "null":
+        return NullCache(max_entries)
+    try:
+        factory = CACHE_BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache backend {backend!r}; choose from "
+            f"{sorted(CACHE_BACKENDS) + ['null']}"
+        ) from None
+    return factory(path, max_entries)

@@ -1,0 +1,139 @@
+"""A small stdlib HTTP client for the service (used by ``regel client``).
+
+:class:`ServiceClient` wraps the six endpoints with typed helpers; the only
+dependency is :mod:`urllib.request`.  Server-side errors (the uniform
+``{"error": {"code", "message"}}`` envelope) surface as :class:`ServiceError`
+with the parsed code, so callers can branch on ``exc.code == "saturated"``
+rather than regexing messages.
+
+``iter_solutions`` mirrors :meth:`repro.api.Session.iter_solutions` over the
+wire: it submits an async job and polls ``GET /v1/jobs/{id}``, yielding each
+new solution as the server discovers it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+from repro.api.problem import Problem
+from repro.api.results import RunReport, Solution
+from repro.service.wire import JOB_CANCELLED, JOB_DONE, JOB_FAILED
+
+
+class ServiceError(OSError):
+    """An HTTP error response from the service, with the parsed envelope.
+
+    Subclasses :class:`OSError` so CLI-level error handling treats it like
+    any other network failure (one clean line, no traceback).
+    """
+
+    def __init__(self, status: int, code: str, message: str, payload: Optional[dict] = None):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Typed access to one running ``regel serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                parsed = json.loads(exc.read().decode("utf-8"))
+                error = parsed.get("error", {})
+            except (ValueError, UnicodeDecodeError):
+                parsed, error = {}, {}
+            raise ServiceError(
+                exc.code,
+                error.get("code", "http_error"),
+                error.get("message", str(exc)),
+                payload=parsed,
+            ) from None
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def solve(self, problem: Problem) -> RunReport:
+        """Synchronous solve: blocks until the server returns the report."""
+        return RunReport.from_dict(
+            self._request("POST", "/v1/solve", problem.to_dict())
+        )
+
+    def submit(self, problem: Problem) -> Dict[str, Any]:
+        """Async submit: returns the job record (``job_id``, ``status``, ...)."""
+        return self._request("POST", "/v1/jobs", problem.to_dict())
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    # -- streaming -----------------------------------------------------------
+
+    def iter_solutions(
+        self,
+        problem: Problem,
+        poll_interval: float = 0.1,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Solution]:
+        """Submit a job and yield solutions as the server discovers them.
+
+        The final job record (with the full report) is kept on
+        :attr:`last_job` once iteration finishes.  Raises
+        :class:`ServiceError` if the job fails server-side or ``timeout``
+        (default: the problem budget plus a grace period) elapses.
+        """
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else problem.budget + 30.0
+        )
+        record = self.submit(problem)
+        job_id = record["job_id"]
+        yielded = 0
+        while True:
+            for entry in record.get("solutions", [])[yielded:]:
+                yielded += 1
+                yield Solution.from_dict(entry)
+            status = record.get("status")
+            if status == JOB_FAILED:
+                raise ServiceError(
+                    500, "engine_error", record.get("error", "job failed")
+                )
+            if status in (JOB_DONE, JOB_CANCELLED):
+                self.last_job = record
+                return
+            if time.monotonic() > deadline:
+                raise ServiceError(504, "client_timeout", f"job {job_id} timed out")
+            time.sleep(poll_interval)
+            record = self.job(job_id)
+
+    #: Final job record of the most recent :meth:`iter_solutions` run.
+    last_job: Optional[Dict[str, Any]] = None

@@ -1,0 +1,309 @@
+"""Transport-independent request handling for the service.
+
+:class:`ServiceState` owns everything behind the HTTP surface — the worker
+pool, the persistent result cache, the job registry, and the counters — and
+exposes one ``handle_*`` method per endpoint, each returning
+``(status_code, payload_dict)``.  Keeping this layer free of ``http.server``
+types makes every endpoint testable as a plain function call and leaves the
+server module a thin routing shim.
+
+Request flow for a solve (sync or async):
+
+1. validate the body into a :class:`~repro.api.Problem` (:mod:`wire`),
+2. look up the canonical problem hash in the cache — a hit answers
+   immediately with ``provenance: "cache"`` and never touches the pool,
+3. on a miss, enqueue a :class:`~repro.service.pool.Job`; a full queue is
+   HTTP 429 (back-pressure),
+4. completed engine runs are written through to the cache, so the next
+   identical request from any user is a hit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.providers import NlSketchProvider
+from repro.api.schedulers import SCHEDULERS, make_scheduler
+from repro.api.session import Session
+from repro.service.cache import ResultCache, make_cache
+from repro.service.pool import Job, PoolSaturated, WorkerPool
+from repro.service.wire import (
+    JOB_DONE,
+    JOB_FAILED,
+    WIRE_SCHEMA,
+    WireError,
+    error_body,
+    job_body,
+    parse_problem,
+)
+
+Response = Tuple[int, Dict[str, Any]]
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``regel serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    #: Worker threads, each with its own warm :class:`~repro.api.Session`.
+    workers: int = 2
+    #: Bounded job queue; a full queue answers 429.
+    queue_size: int = 16
+    #: ``json`` (directory of files), ``sqlite``, or ``null`` (disabled).
+    cache_backend: str = "json"
+    #: Directory (json) or database file (sqlite); None picks a default
+    #: under the working directory.
+    cache_path: Optional[str] = None
+    cache_max_entries: int = 1024
+    #: Scheduler each worker session runs (see :data:`repro.api.SCHEDULERS`).
+    scheduler: str = "interleaved"
+    #: Sketches requested from the semantic parser per problem.
+    sketches: int = 25
+    #: Reject problems whose budget exceeds this (seconds).
+    max_budget: float = 120.0
+    #: Extra wall-clock a synchronous solve may wait past the budget.
+    sync_grace: float = 5.0
+    #: Terminal jobs kept for polling before being pruned, oldest first.
+    max_tracked_jobs: int = 256
+    #: Print one line per request (off in tests/benchmarks).
+    log_requests: bool = field(default=False)
+
+    def resolved_cache_path(self) -> str:
+        if self.cache_path is not None:
+            return self.cache_path
+        return (
+            ".regel-cache.sqlite"
+            if self.cache_backend == "sqlite"
+            else ".regel-cache"
+        )
+
+
+class ServiceState:
+    """The live service: pool + cache + job registry + counters."""
+
+    def __init__(self, config: ServiceConfig, cache: Optional[ResultCache] = None):
+        if config.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {config.scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)}"
+            )
+        self.config = config
+        self.cache = cache if cache is not None else make_cache(
+            config.cache_backend,
+            config.resolved_cache_path(),
+            config.cache_max_entries,
+        )
+        self.pool = WorkerPool(
+            session_factory=self._make_session,
+            workers=config.workers,
+            queue_size=config.queue_size,
+            on_complete=self._write_through,
+        )
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        #: cache_key → live job, so concurrent identical requests coalesce
+        #: onto one engine run instead of each occupying a worker.
+        self._inflight: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._counters_lock = threading.Lock()
+        self.requests: Dict[str, int] = {}
+        self.started = time.time()
+
+    def _make_session(self) -> Session:
+        # One session per worker thread: the NL provider holds the trained
+        # semantic parser (the expensive, reusable state), the scheduler is
+        # stateless per solve.
+        return Session(
+            provider=NlSketchProvider(num_sketches=self.config.sketches),
+            scheduler=make_scheduler(self.config.scheduler),
+        )
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def count(self, endpoint: str) -> None:
+        with self._counters_lock:
+            self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def _register(self, job: Job) -> None:
+        with self._jobs_lock:
+            self._register_locked(job)
+
+    def _register_locked(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        # Prune the oldest *terminal* jobs past the tracking bound;
+        # live jobs are never dropped.
+        excess = len(self._jobs) - self.config.max_tracked_jobs
+        if excess > 0:
+            for job_id in [
+                jid for jid, tracked in self._jobs.items() if tracked.terminal
+            ][:excess]:
+                del self._jobs[job_id]
+
+    def _lookup(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def _coalesce_or_submit(self, job: Job) -> Job:
+        """Reuse a live identical job, or enqueue ``job`` as the new one.
+
+        Identical problems arriving while the first is still queued/running
+        attach to that run (ISSUE-motivating dedup under concurrency, before
+        the cache has anything to serve).  Raises :class:`PoolSaturated`.
+
+        Coalescing, submission, and registration happen under one lock:
+        a concurrent identical request must never observe a job that then
+        fails to enter the pool (it would wait on a phantom that no worker
+        will ever finish).
+        """
+        with self._jobs_lock:
+            existing = self._inflight.get(job.cache_key)
+            if existing is not None and not existing.terminal:
+                return existing
+            # Prune terminal leftovers lazily; the dict stays bounded by the
+            # pool's capacity plus recently finished keys.
+            if len(self._inflight) > 2 * (
+                self.config.queue_size + self.config.workers
+            ):
+                self._inflight = {
+                    key: tracked
+                    for key, tracked in self._inflight.items()
+                    if not tracked.terminal
+                }
+            self.pool.submit(job)  # may raise PoolSaturated: nothing recorded
+            self._inflight[job.cache_key] = job
+            self._register_locked(job)
+        return job
+
+    def _write_through(self, cache_key: str, report: Dict[str, Any]) -> None:
+        """Pool completion hook: persist *solved* engine reports.
+
+        Runs on the worker thread *before* the job is marked done, so a
+        client re-posting the identical problem the instant its first
+        response arrives is guaranteed to hit the cache.  Unsolved and
+        cancelled reports are never cached: a budget-bounded search that
+        found nothing under one machine's load is not a stable fact about
+        the problem, and caching it would poison every future request.
+        """
+        if report.get("solved") and not report.get("cancelled"):
+            self.cache.put(cache_key, report)
+
+    def _cached_report(self, key: str) -> Optional[Dict[str, Any]]:
+        report = self.cache.get(key)
+        if report is None:
+            return None
+        report = dict(report)
+        report["provenance"] = "cache"
+        report["cache_key"] = key
+        return report
+
+    # -- endpoints -----------------------------------------------------------
+
+    def handle_solve(self, body: bytes) -> Response:
+        """``POST /v1/solve`` — synchronous: block until the report is ready."""
+        self.count("solve")
+        try:
+            problem = parse_problem(body, max_budget=self.config.max_budget)
+        except WireError as exc:
+            return exc.status, error_body(exc.code, str(exc))
+        key = problem.cache_key()
+        cached = self._cached_report(key)
+        if cached is not None:
+            return 200, cached
+        try:
+            job = self._coalesce_or_submit(Job(problem, cache_key=key))
+        except PoolSaturated as exc:
+            return 429, error_body("saturated", str(exc))
+        if not job.wait(timeout=problem.budget + self.config.sync_grace):
+            # The job keeps running (and will be cached); tell the client
+            # where to poll for it instead of holding the connection open.
+            payload = error_body(
+                "deadline_exceeded",
+                "solve did not finish within budget + grace; poll the job",
+            )
+            payload["job_id"] = job.id
+            return 504, payload
+        if job.status == JOB_DONE:
+            return 200, job.report
+        if job.status == JOB_FAILED:
+            return 500, error_body("engine_error", job.error or "synthesis failed")
+        return 503, error_body("cancelled", "job was cancelled before completion")
+
+    def handle_submit(self, body: bytes) -> Response:
+        """``POST /v1/jobs`` — async: return a job id to poll."""
+        self.count("jobs.submit")
+        try:
+            problem = parse_problem(body, max_budget=self.config.max_budget)
+        except WireError as exc:
+            return exc.status, error_body(exc.code, str(exc))
+        key = problem.cache_key()
+        job = Job(problem, cache_key=key)
+        cached = self._cached_report(key)
+        if cached is not None:
+            # A hit still gets a job record, so clients have one code path;
+            # it is born terminal with the cached report attached.
+            job.solutions = [dict(entry) for entry in cached.get("solutions", [])]
+            job.finish(JOB_DONE, report=cached)
+            self._register(job)
+            return 202, job_body(job)
+        try:
+            job = self._coalesce_or_submit(job)
+        except PoolSaturated as exc:
+            return 429, error_body("saturated", str(exc))
+        return 202, job_body(job)
+
+    def handle_job_get(self, job_id: str) -> Response:
+        """``GET /v1/jobs/{id}`` — poll status + partial solutions."""
+        self.count("jobs.get")
+        job = self._lookup(job_id)
+        if job is None:
+            return 404, error_body("not_found", f"no such job: {job_id}")
+        return 200, job_body(job)
+
+    def handle_job_cancel(self, job_id: str) -> Response:
+        """``DELETE /v1/jobs/{id}`` — cooperative cancellation.
+
+        Note: identical concurrent requests coalesce onto one job, so
+        cancelling it cancels the run for every requester sharing it.
+        """
+        self.count("jobs.cancel")
+        job = self._lookup(job_id)
+        if job is None:
+            return 404, error_body("not_found", f"no such job: {job_id}")
+        if not job.terminal:
+            job.request_cancel()
+        return 202, job_body(job)
+
+    def handle_healthz(self) -> Response:
+        """``GET /v1/healthz`` — liveness."""
+        return 200, {
+            "status": "ok",
+            "schema": WIRE_SCHEMA,
+            "uptime_seconds": time.time() - self.started,
+        }
+
+    def handle_stats(self) -> Response:
+        """``GET /v1/stats`` — cache, pool, and request counters."""
+        self.count("stats")
+        with self._jobs_lock:
+            tracked = len(self._jobs)
+        with self._counters_lock:
+            requests = dict(self.requests)
+        return 200, {
+            "schema": WIRE_SCHEMA,
+            "uptime_seconds": time.time() - self.started,
+            "scheduler": self.config.scheduler,
+            "requests": requests,
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+            "jobs": {"tracked": tracked},
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.close()
+        self.cache.close()

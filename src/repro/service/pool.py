@@ -1,0 +1,257 @@
+"""Bounded worker pool executing service jobs over the pipeline API.
+
+One :class:`Job` wraps one :class:`~repro.api.Problem` with a lifecycle
+(``queued → running → done | failed | cancelled``), a per-job
+:class:`~repro.api.CancelToken`, and the list of solutions streamed so far —
+the server-side mirror of :meth:`~repro.api.Session.iter_solutions`.
+
+The pool itself is a fixed set of worker threads over a *bounded* queue:
+when every worker is busy and the queue is full, :meth:`WorkerPool.submit`
+raises :class:`PoolSaturated` and the HTTP layer answers 429 — back-pressure
+instead of unbounded memory growth.  Each worker owns one long-lived
+:class:`~repro.api.Session` (the session holds the trained semantic parser,
+which is exactly the expensive state worth keeping warm); the session's
+scheduler — :class:`~repro.api.InterleavedScheduler` by default,
+:class:`~repro.api.ProcessPoolScheduler` for multi-core deployments — is
+what enforces each job's wall-clock budget, so deadline enforcement needs no
+thread killing.  Shutdown is graceful: queued jobs are cancelled, running
+jobs get their cancel tokens fired, and workers are joined.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+import uuid
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api.problem import Problem
+from repro.api.schedulers import CancelToken
+from repro.api.session import Session
+from repro.service.wire import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+)
+
+
+class PoolSaturated(Exception):
+    """Every worker is busy and the queue is full (HTTP 429)."""
+
+
+class Job:
+    """One queued/running/finished synthesis request."""
+
+    def __init__(self, problem: Problem, cache_key: str = ""):
+        self.id = uuid.uuid4().hex
+        self.problem = problem
+        self.cache_key = cache_key or problem.cache_key()
+        self.status = JOB_QUEUED
+        #: Solution dicts in discovery order, appended while running (what
+        #: ``GET /v1/jobs/{id}`` pollers read as partial results).
+        self.solutions: List[Dict[str, Any]] = []
+        #: The final RunReport dict, present once the job is terminal.
+        self.report: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.cancel = CancelToken()
+        #: Distinguishes a client cancellation from the session cancelling
+        #: its own token after collecting ``k`` solutions.
+        self.cancel_requested = False
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+    def add_solution(self, solution: Dict[str, Any]) -> None:
+        with self._lock:
+            self.solutions.append(solution)
+
+    def request_cancel(self) -> None:
+        self.cancel_requested = True
+        self.cancel.cancel()
+
+    def finish(
+        self,
+        status: str,
+        report: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            self.status = status
+            self.report = report
+            self.error = error
+            self.finished = time.time()
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; False on timeout."""
+        return self._done.wait(timeout)
+
+
+class WorkerPool:
+    """Fixed worker threads + bounded queue; one warm Session per worker."""
+
+    def __init__(
+        self,
+        session_factory: Callable[[], Session],
+        workers: int = 2,
+        queue_size: int = 16,
+        on_complete: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.session_factory = session_factory
+        self.on_complete = on_complete
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_size)
+        self._stopping = False
+        self._stats_lock = threading.Lock()
+        self._running: "set[Job]" = set()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self._busy = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"regel-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job``; raises :class:`PoolSaturated` when the queue is full."""
+        if self._stopping:
+            raise PoolSaturated("pool is shutting down")
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._stats_lock:
+                self.rejected += 1
+            raise PoolSaturated(
+                f"all workers busy and queue full ({self._queue.maxsize} pending)"
+            ) from None
+        with self._stats_lock:
+            self.submitted += 1
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        session: Optional[Session] = None
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                return
+            if job.cancel_requested:
+                job.finish(JOB_CANCELLED)
+                with self._stats_lock:
+                    self.cancelled += 1
+                continue
+            if session is None:
+                # Built lazily (and retried per job) so a failing factory
+                # fails the job loudly instead of silently killing the
+                # worker thread and stranding every future submission.
+                try:
+                    session = self.session_factory()
+                except Exception:
+                    job.finish(JOB_FAILED, error=traceback.format_exc(limit=8))
+                    with self._stats_lock:
+                        self.failed += 1
+                    continue
+            self._run(session, job)
+
+    def _run(self, session: Session, job: Job) -> None:
+        job.status = JOB_RUNNING
+        job.started = time.time()
+        with self._stats_lock:
+            self._busy += 1
+            self._running.add(job)
+        try:
+            for solution in session.iter_solutions(job.problem, cancel=job.cancel):
+                job.add_solution(solution.to_dict())
+            report = session.last_report
+            report.provenance = "engine"
+            report.cache_key = job.cache_key
+            if job.cancel_requested:
+                report.cancelled = True
+                job.finish(JOB_CANCELLED, report=report.to_dict())
+                with self._stats_lock:
+                    self.cancelled += 1
+            else:
+                report_dict = report.to_dict()
+                if self.on_complete is not None:
+                    # Write-through happens BEFORE finish() wakes any waiting
+                    # client: an immediate identical re-request must hit the
+                    # cache.  A failing hook must not fail the solved job.
+                    try:
+                        self.on_complete(job.cache_key, report_dict)
+                    except Exception:
+                        pass
+                job.finish(JOB_DONE, report=report_dict)
+                with self._stats_lock:
+                    self.completed += 1
+        except Exception:
+            job.finish(JOB_FAILED, error=traceback.format_exc(limit=8))
+            with self._stats_lock:
+                self.failed += 1
+        finally:
+            with self._stats_lock:
+                self._busy -= 1
+                self._running.discard(job)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._stats_lock:
+            return {
+                "workers": len(self._threads),
+                "busy_workers": self._busy,
+                "queue_depth": self._queue.qsize(),
+                "queue_capacity": self._queue.maxsize,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+            }
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: cancel queued + running jobs, join workers."""
+        self._stopping = True
+        # Drain jobs still waiting in the queue: they never ran.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is not None:
+                job.finish(JOB_CANCELLED)
+                with self._stats_lock:
+                    self.cancelled += 1
+        # Fire the cancel token of every in-flight job; the schedulers honour
+        # it cooperatively, so workers come back within one scheduling slice.
+        with self._stats_lock:
+            running = list(self._running)
+        for job in running:
+            job.request_cancel()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)

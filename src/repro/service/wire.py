@@ -1,0 +1,112 @@
+"""Wire schemas and validation for the HTTP/JSON service.
+
+The wire format *is* the pipeline API's serialisation: a ``POST /v1/solve``
+body is exactly :meth:`repro.api.Problem.to_dict` and a response is exactly
+:meth:`repro.api.RunReport.to_dict`.  This module adds the envelope around
+them — schema versioning, error bodies, job records — and the request
+validation the library layer does not need (body size limits, budget caps,
+type checks with client-readable messages).
+
+Every error crossing the wire is ``{"error": {"code": ..., "message": ...}}``
+so clients can branch on ``code`` without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from repro.api.problem import Problem
+
+#: Version tag stamped into ``/v1/healthz`` and ``/v1/stats`` responses.
+WIRE_SCHEMA = 1
+
+#: Hard cap on request body size (1 MiB is orders of magnitude above any
+#: legitimate Problem; bigger bodies are rejected before JSON parsing).
+MAX_BODY_BYTES = 1 << 20
+
+#: Job lifecycle states, in order.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+
+class WireError(Exception):
+    """A client-side request problem, mapped to an HTTP 4xx response."""
+
+    def __init__(self, message: str, status: int = 400, code: str = "bad_request"):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def error_body(code: str, message: str) -> Dict[str, Any]:
+    """The uniform JSON error envelope."""
+    return {"error": {"code": code, "message": message}}
+
+
+def parse_problem(
+    body: bytes, max_budget: Optional[float] = None
+) -> Problem:
+    """Decode and validate a request body into a :class:`Problem`.
+
+    Raises :class:`WireError` with a message a client can act on; the service
+    never lets a malformed body surface as a traceback.  ``max_budget`` is the
+    server's per-request ceiling: rather than silently clamping (which would
+    change the problem's cache identity), over-budget requests are rejected.
+    """
+    if len(body) > MAX_BODY_BYTES:
+        raise WireError(
+            f"request body exceeds {MAX_BODY_BYTES} bytes",
+            status=413,
+            code="body_too_large",
+        )
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(data, Mapping):
+        raise WireError("request body must be a JSON object (a Problem dict)")
+    if not isinstance(data.get("description", ""), str):
+        raise WireError("description must be a string")
+    for field in ("positive", "negative"):
+        examples = data.get(field, [])
+        # A bare string would silently explode into per-character examples
+        # (tuple("123") == ('1','2','3')) — a different problem with a
+        # legitimate-looking cache key.
+        if isinstance(examples, str) or not isinstance(examples, (list, tuple)):
+            raise WireError(f"{field} must be a JSON array of strings")
+        if not all(isinstance(example, str) for example in examples):
+            raise WireError(f"{field} examples must be strings")
+    try:
+        problem = Problem.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"invalid problem: {exc}") from None
+    if max_budget is not None and problem.budget > max_budget:
+        raise WireError(
+            f"budget {problem.budget}s exceeds the server maximum of {max_budget}s",
+            code="budget_too_large",
+        )
+    return problem
+
+
+def job_body(job: "Job", include_report: bool = True) -> Dict[str, Any]:  # noqa: F821
+    """Serialise a pool job for ``POST /v1/jobs`` / ``GET /v1/jobs/{id}``.
+
+    ``solutions`` carries every solution streamed so far (present in all
+    states, so pollers see partial results while the job is still running);
+    ``report`` appears once the job reaches a terminal state.
+    """
+    payload: Dict[str, Any] = {
+        "job_id": job.id,
+        "status": job.status,
+        "cache_key": job.cache_key,
+        "solutions": [dict(solution) for solution in job.solutions],
+    }
+    if job.error:
+        payload["error"] = job.error
+    if include_report and job.report is not None:
+        payload["report"] = job.report
+    return payload

@@ -26,6 +26,7 @@ class TestPublicApi:
         import repro.experiments
         import repro.multimodal
         import repro.nlp
+        import repro.service
         import repro.sketch
         import repro.solver
         import repro.synthesis
@@ -43,7 +44,15 @@ class TestPublicApi:
 
 class TestDocumentation:
     def test_required_documents_exist(self):
-        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"):
+        for name in (
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "pyproject.toml",
+            "docs/api.md",
+            "docs/architecture.md",
+            "docs/deployment.md",
+        ):
             assert (ROOT / name).is_file(), name
 
     def test_design_doc_covers_every_figure(self):

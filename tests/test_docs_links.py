@@ -1,0 +1,75 @@
+"""Dead-link checker over the markdown docs.
+
+Every relative link in ``README.md``, ``docs/*.md``, and the other top-level
+markdown files must resolve to a real file; ``path#anchor`` links must also
+hit a real heading (GitHub slug rules).  External ``http(s)``/``mailto``
+links are out of scope — this guards the docs *site's* internal integrity,
+which is what rots silently when files move.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOCS = sorted(
+    [
+        ROOT / "README.md",
+        ROOT / "DESIGN.md",
+        ROOT / "EXPERIMENTS.md",
+        *(ROOT / "docs").glob("*.md"),
+    ]
+)
+
+#: Inline markdown links: [text](target), skipping images and code spans.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor rule: lowercase, drop punctuation, dashes."""
+    heading = re.sub(r"[`*]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match) for match in _HEADING.findall(text)}
+
+
+def links_of(path: pathlib.Path) -> list:
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return _LINK.findall(text)
+
+
+def test_doc_set_is_nonempty():
+    assert (ROOT / "docs" / "api.md").is_file()
+    assert (ROOT / "docs" / "architecture.md").is_file()
+    assert (ROOT / "docs" / "deployment.md").is_file()
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda path: str(path.relative_to(ROOT)))
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in links_of(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        if path_part and not resolved.exists():
+            broken.append(f"{target} (missing file)")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                broken.append(f"{target} (missing anchor)")
+    assert not broken, f"dead links in {doc.name}: {broken}"
+
+
+def test_readme_links_to_the_docs_site():
+    text = (ROOT / "README.md").read_text(encoding="utf-8")
+    for target in ("docs/api.md", "docs/architecture.md", "docs/deployment.md"):
+        assert target in text, f"README must link to {target}"

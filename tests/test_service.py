@@ -1,0 +1,500 @@
+"""Tests for the HTTP/JSON service: cache backends, pool, handlers, server."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Problem, RunReport
+from repro.service import (
+    JsonDirCache,
+    NullCache,
+    PoolSaturated,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceState,
+    SqliteCache,
+    WorkerPool,
+    make_cache,
+    start_server,
+)
+from repro.service.pool import Job
+from repro.service.wire import WireError, parse_problem
+
+FAST_PROBLEM = Problem(
+    "3 digits", positive=["123", "456"], negative=["12", "abcd"], budget=10.0
+)
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing (the cache key)
+# ---------------------------------------------------------------------------
+
+
+class TestProblemHashing:
+    def test_equal_problems_hash_equal(self):
+        a = Problem("3 digits", positive=["123"], negative=["12"])
+        b = Problem.from_json(a.to_json())
+        assert a.cache_key() == b.cache_key()
+
+    def test_hash_is_field_order_independent(self):
+        data = FAST_PROBLEM.to_dict()
+        reordered = {key: data[key] for key in reversed(list(data))}
+        assert Problem.from_dict(reordered).cache_key() == FAST_PROBLEM.cache_key()
+
+    def test_different_problems_hash_differently(self):
+        a = Problem("3 digits", positive=["123"])
+        b = Problem("3 digits", positive=["124"])
+        c = Problem("3 digits", positive=["123"], budget=5.0)
+        assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
+
+    def test_key_is_sha256_hex(self):
+        key = FAST_PROBLEM.cache_key()
+        assert len(key) == 64 and all(ch in "0123456789abcdef" for ch in key)
+
+
+# ---------------------------------------------------------------------------
+# Cache backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(params=["json", "sqlite"])
+def cache(request, tmp_path):
+    if request.param == "json":
+        backend = JsonDirCache(tmp_path / "cache", max_entries=3)
+    else:
+        backend = SqliteCache(tmp_path / "cache.sqlite", max_entries=3)
+    yield backend
+    backend.close()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, cache):
+        assert cache.get("a" * 64) is None
+        cache.put("a" * 64, {"solved": True})
+        assert cache.get("a" * 64) == {"solved": True}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["stores"] == 1
+
+    def test_overwrite_same_key(self, cache):
+        cache.put("b" * 64, {"v": 1})
+        cache.put("b" * 64, {"v": 2})
+        assert cache.get("b" * 64) == {"v": 2}
+        assert len(cache) == 1
+
+    def test_lru_eviction_bound(self, cache):
+        for index in range(5):
+            cache.put(f"{index}" * 64, {"v": index})
+            time.sleep(0.01)  # distinct mtimes for the json backend
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 2
+        # The oldest entries were evicted, the newest survive.
+        assert cache.get("0" * 64) is None
+        assert cache.get("4" * 64) == {"v": 4}
+
+    def test_lru_recency_refresh_on_hit(self, cache):
+        for index in range(3):
+            cache.put(f"{index}" * 64, {"v": index})
+            time.sleep(0.01)
+        assert cache.get("0" * 64) is not None  # refresh the oldest
+        time.sleep(0.01)
+        cache.put("9" * 64, {"v": 9})  # evicts "1", not the refreshed "0"
+        assert cache.get("0" * 64) is not None
+        assert cache.get("1" * 64) is None
+
+    def test_persistence_across_instances(self, cache, tmp_path):
+        cache.put("c" * 64, {"v": 3})
+        if isinstance(cache, JsonDirCache):
+            reopened = JsonDirCache(tmp_path / "cache", max_entries=3)
+        else:
+            cache.close()
+            reopened = SqliteCache(tmp_path / "cache.sqlite", max_entries=3)
+        assert reopened.get("c" * 64) == {"v": 3}
+        reopened.close()
+
+    def test_malformed_key_rejected(self, tmp_path):
+        backend = JsonDirCache(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            backend.put("../escape", {})
+
+    def test_null_cache_never_stores(self):
+        cache = NullCache()
+        cache.put("d" * 64, {"v": 1})
+        assert cache.get("d" * 64) is None
+        assert cache.stats()["entries"] == 0
+
+    def test_make_cache_registry(self, tmp_path):
+        assert isinstance(make_cache("null", tmp_path), NullCache)
+        with pytest.raises(ValueError):
+            make_cache("redis", tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Wire validation
+# ---------------------------------------------------------------------------
+
+
+class TestWire:
+    def test_parse_round_trip(self):
+        parsed = parse_problem(FAST_PROBLEM.to_json().encode())
+        assert parsed == FAST_PROBLEM
+
+    def test_rejects_non_json(self):
+        with pytest.raises(WireError):
+            parse_problem(b"not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(WireError):
+            parse_problem(b"[1, 2]")
+
+    def test_rejects_bad_examples(self):
+        with pytest.raises(WireError):
+            parse_problem(b'{"positive": [123]}')
+
+    def test_rejects_bare_string_examples(self):
+        # tuple("123") would silently become ('1','2','3') — a different
+        # problem with a legitimate-looking cache key.
+        with pytest.raises(WireError) as info:
+            parse_problem(b'{"positive": "123"}')
+        assert "array" in str(info.value)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(WireError):
+            parse_problem(b'{"budget": -1}')
+
+    def test_rejects_over_budget(self):
+        body = json.dumps({"description": "x", "budget": 500.0}).encode()
+        with pytest.raises(WireError) as info:
+            parse_problem(body, max_budget=120.0)
+        assert info.value.code == "budget_too_large"
+
+    def test_rejects_oversize_body(self):
+        with pytest.raises(WireError) as info:
+            parse_problem(b"x" * (2 << 20))
+        assert info.value.status == 413
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+
+
+def _blocking_session_factory(release: threading.Event):
+    """Sessions whose iter_solutions blocks until ``release`` is set."""
+
+    class BlockingSession:
+        last_report = None
+
+        def iter_solutions(self, problem, cancel=None):
+            while not release.is_set() and not (cancel and cancel.cancelled):
+                time.sleep(0.005)
+            self.last_report = RunReport(problem=problem)
+            return iter(())
+
+    return BlockingSession
+
+
+class TestWorkerPool:
+    def test_back_pressure_raises_when_saturated(self):
+        release = threading.Event()
+        factory = _blocking_session_factory(release)
+        pool = WorkerPool(lambda: factory(), workers=1, queue_size=1)
+        try:
+            first = Job(FAST_PROBLEM)
+            pool.submit(first)
+            deadline = time.monotonic() + 5.0
+            while first.status == "queued" and time.monotonic() < deadline:
+                time.sleep(0.005)  # wait for the worker to pick it up
+            pool.submit(Job(FAST_PROBLEM))  # fills the queue slot
+            with pytest.raises(PoolSaturated):
+                pool.submit(Job(FAST_PROBLEM))
+            assert pool.stats()["rejected"] == 1
+        finally:
+            release.set()
+            pool.close()
+
+    def test_close_cancels_queued_and_running(self):
+        release = threading.Event()
+        factory = _blocking_session_factory(release)
+        pool = WorkerPool(lambda: factory(), workers=1, queue_size=4)
+        running = Job(FAST_PROBLEM)
+        queued = Job(FAST_PROBLEM)
+        pool.submit(running)
+        deadline = time.monotonic() + 5.0
+        while running.status == "queued" and time.monotonic() < deadline:
+            time.sleep(0.005)
+        pool.submit(queued)
+        pool.close()
+        assert queued.status == "cancelled"
+        assert running.terminal
+
+    def test_write_through_happens_before_job_is_done(self):
+        # A client woken by job.wait() may immediately re-send the identical
+        # problem; the cache write-through must already be visible by then.
+        events = []
+
+        class InstantSession:
+            last_report = None
+
+            def iter_solutions(self, problem, cancel=None):
+                self.last_report = RunReport(problem=problem)
+                return iter(())
+
+        pool = WorkerPool(
+            lambda: InstantSession(),
+            workers=1,
+            queue_size=2,
+            on_complete=lambda key, report: events.append("cached"),
+        )
+        try:
+            job = Job(FAST_PROBLEM)
+            pool.submit(job)
+            assert job.wait(timeout=5.0)
+            events.append("done-visible")
+            assert events == ["cached", "done-visible"]
+        finally:
+            pool.close()
+
+    def test_broken_session_factory_fails_jobs_not_threads(self):
+        pool = WorkerPool(
+            lambda: (_ for _ in ()).throw(RuntimeError("no parser")),
+            workers=1,
+            queue_size=2,
+        )
+        try:
+            job = Job(FAST_PROBLEM)
+            pool.submit(job)
+            assert job.wait(timeout=5.0)
+            assert job.status == "failed"
+            assert "no parser" in job.error
+        finally:
+            pool.close()
+
+    def test_failed_job_records_error(self):
+        class ExplodingSession:
+            def iter_solutions(self, problem, cancel=None):
+                raise RuntimeError("boom")
+                yield  # pragma: no cover
+
+        pool = WorkerPool(lambda: ExplodingSession(), workers=1, queue_size=2)
+        try:
+            job = Job(FAST_PROBLEM)
+            pool.submit(job)
+            assert job.wait(timeout=5.0)
+            assert job.status == "failed"
+            assert "boom" in job.error
+            assert pool.stats()["failed"] == 1
+        finally:
+            pool.close()
+
+
+# ---------------------------------------------------------------------------
+# The live HTTP server
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(
+            port=0, workers=2, cache_backend="json", cache_path=tmp, sketches=8
+        )
+        live = start_server(config)
+        yield live
+        live.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    host, port = server.server_address[:2]
+    return ServiceClient(f"http://{host}:{port}")
+
+
+class TestHttpService:
+    def test_healthz(self, client):
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["schema"] == 1
+
+    def test_solve_then_cache_hit(self, client):
+        problem = Problem(
+            "3 digits", positive=["123", "456"], negative=["12", "abcd"], budget=10.0
+        )
+        cold = client.solve(problem)
+        assert cold.solved
+        assert cold.provenance == "engine"
+        assert cold.cache_key == problem.cache_key()
+        warm = client.solve(problem)
+        assert warm.provenance == "cache"
+        assert warm.cache_key == problem.cache_key()
+        assert [s.regex for s in warm.solutions] == [s.regex for s in cold.solutions]
+        stats = client.stats()
+        assert stats["cache"]["hits"] >= 1
+
+    def test_async_job_lifecycle(self, client):
+        record = client.submit(
+            Problem("2 digits", positive=["12", "34"], negative=["1", "abc"], budget=10.0)
+        )
+        assert record["status"] in ("queued", "running", "done")
+        job_id = record["job_id"]
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            record = client.job(job_id)
+            if record["status"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert record["status"] == "done"
+        assert record["solutions"]
+        report = RunReport.from_dict(record["report"])
+        assert report.solved
+
+    def test_unsolved_reports_are_not_cached(self, client):
+        # Contradictory examples: deterministically unsolvable, finishes
+        # fast.  An unsolved-within-budget outcome must not poison the
+        # cache (a loaded machine's failure is not a fact about the problem).
+        problem = Problem("3 digits", positive=["xyz"], negative=["xyz"], budget=2.0)
+        first = client.solve(problem)
+        assert not first.solved
+        second = client.solve(problem)
+        assert second.provenance == "engine"  # re-ran, not served from cache
+
+    def test_submit_of_cached_problem_is_born_done(self, client):
+        problem = Problem(
+            "4 digits", positive=["1234", "5678"], negative=["123", "x"], budget=10.0
+        )
+        assert client.solve(problem).solved  # populate the cache
+        record = client.submit(problem)
+        assert record["status"] == "done"
+        assert record["report"]["provenance"] == "cache"
+
+    def test_iter_solutions_streams(self, client):
+        problem = Problem(
+            "5 digits", positive=["12345"], negative=["1234"], budget=10.0
+        )
+        solutions = list(client.iter_solutions(problem))
+        assert solutions
+        assert client.last_job["status"] == "done"
+
+    def test_cancel_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.cancel("f" * 32)
+        assert info.value.status == 404
+
+    def test_malformed_body_is_400(self, client, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/solve",
+            data=b"not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+        assert json.loads(info.value.read())["error"]["code"] == "bad_request"
+
+    def test_over_budget_rejected(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.solve(Problem("3 digits", positive=["123"], budget=500.0))
+        assert info.value.code == "budget_too_large"
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", "/v2/everything")
+        assert info.value.status == 404
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert {"cache", "pool", "requests", "jobs", "uptime_seconds"} <= set(stats)
+        assert stats["pool"]["workers"] == 2
+        assert stats["cache"]["backend"] == "json"
+
+
+class TestBackPressureHttp:
+    def test_saturated_service_answers_429(self, tmp_path):
+        release = threading.Event()
+        config = ServiceConfig(
+            port=0, workers=1, queue_size=1, cache_backend="null", cache_path=str(tmp_path)
+        )
+        state = ServiceState(config)
+        # Swap the pool for one whose sessions block until released, so the
+        # queue fills deterministically.
+        state.pool.close()
+        factory = _blocking_session_factory(release)
+        state.pool = WorkerPool(lambda: factory(), workers=1, queue_size=1)
+        live = start_server(config, state=state)
+        try:
+            host, port = live.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            running = client.submit(FAST_PROBLEM)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if client.job(running["job_id"])["status"] == "running":
+                    break
+                time.sleep(0.01)
+            client.submit(Problem("x digits", positive=["9"], budget=5.0))
+            with pytest.raises(ServiceError) as info:
+                client.submit(Problem("y digits", positive=["8"], budget=5.0))
+            assert info.value.status == 429
+            assert info.value.code == "saturated"
+        finally:
+            release.set()
+            live.close()
+
+    def test_identical_concurrent_requests_coalesce(self, tmp_path):
+        # Ten users asking for the same regex at once must cost one engine
+        # run: later identical submissions attach to the in-flight job.
+        release = threading.Event()
+        config = ServiceConfig(
+            port=0, workers=1, queue_size=2, cache_backend="null", cache_path=str(tmp_path)
+        )
+        state = ServiceState(config)
+        state.pool.close()
+        factory = _blocking_session_factory(release)
+        state.pool = WorkerPool(lambda: factory(), workers=1, queue_size=2)
+        live = start_server(config, state=state)
+        try:
+            host, port = live.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            first = client.submit(FAST_PROBLEM)
+            again = client.submit(FAST_PROBLEM)
+            assert again["job_id"] == first["job_id"]
+            # A *different* problem gets its own job.
+            other = client.submit(Problem("2 digits", positive=["12"], budget=5.0))
+            assert other["job_id"] != first["job_id"]
+            assert state.pool.stats()["submitted"] == 2
+        finally:
+            release.set()
+            live.close()
+
+    def test_job_cancellation(self, tmp_path):
+        release = threading.Event()
+        config = ServiceConfig(
+            port=0, workers=1, queue_size=4, cache_backend="null", cache_path=str(tmp_path)
+        )
+        state = ServiceState(config)
+        state.pool.close()
+        factory = _blocking_session_factory(release)
+        state.pool = WorkerPool(lambda: factory(), workers=1, queue_size=4)
+        live = start_server(config, state=state)
+        try:
+            host, port = live.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            record = client.submit(FAST_PROBLEM)
+            client.cancel(record["job_id"])
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                record = client.job(record["job_id"])
+                if record["status"] in ("cancelled", "done", "failed"):
+                    break
+                time.sleep(0.01)
+            assert record["status"] == "cancelled"
+        finally:
+            release.set()
+            live.close()
