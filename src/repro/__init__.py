@@ -16,7 +16,7 @@ Public entry points:
 * :mod:`repro.experiments` — regeneration of every figure in Section 8.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.api import (
     CancelToken,

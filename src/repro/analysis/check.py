@@ -1,0 +1,101 @@
+"""Example checks — the engine-facing side of the static analyzer.
+
+:func:`partial_prune_reason` is the cheap pre-filter that
+:meth:`repro.synthesis.engine.SynthesisRun.step` runs on every successor
+before the match-set evaluator: when the facts of a partial prove some
+positive example unmatchable, or some negative example unavoidably matched,
+no completion can be consistent and the successor is pruned without a single
+membership query.
+
+Soundness contract: a non-``None`` reason is a *proof* of infeasibility with
+respect to the completions the engine can reach (symbolic integers bounded by
+``SynthesisConfig.max_kappa``); ``None`` just means "maybe".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.analyzer import facts_of_partial
+from repro.analysis.facts import Facts
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.examples import Examples
+from repro.synthesis.partial import PartialRegex
+
+#: Sentinel distinguishing "memoized None" from "not memoized" (dict.get).
+_UNKNOWN = "?"
+
+
+def _verdict(facts: Facts, examples: Examples) -> Optional[str]:
+    for positive in examples.positive:
+        reason = facts.reject_reason(positive)
+        if reason is not None:
+            return f"positive:{reason}"
+    for negative in examples.negative:
+        if facts.must_match(negative):
+            return "negative:unavoidable"
+    return None
+
+
+def partial_prune_reason(
+    partial: PartialRegex,
+    examples: Examples,
+    config: SynthesisConfig,
+    memo: Optional[Dict[Facts, Optional[str]]] = None,
+) -> Optional[str]:
+    """Why ``partial`` provably cannot satisfy ``examples``, or ``None``.
+
+    Reasons are ``"positive:<fact>"`` (some positive example cannot be in any
+    completion's language) or ``"negative:unavoidable"`` (some negative
+    example is in every completion's language).
+
+    ``memo`` is an optional facts→verdict cache for a *fixed* example set:
+    distinct successors overwhelmingly share facts values, so a caller in a
+    loop (the engine) skips the per-example checks after the first sighting
+    of each facts record.  The caller owns the dict and must not reuse it
+    across example sets.
+    """
+    if not config.use_approximation or not config.use_static_analysis:
+        return None
+    kmax = config.max_kappa if config.use_symbolic_ints else None
+    facts = facts_of_partial(partial, config.hole_depth, kmax)
+    if memo is None:
+        return _verdict(facts, examples)
+    reason = memo.get(facts, _UNKNOWN)
+    if reason is _UNKNOWN:
+        reason = memo[facts] = _verdict(facts, examples)
+    return reason
+
+
+def static_infeasible(
+    partial: PartialRegex,
+    examples: Examples,
+    config: SynthesisConfig,
+    memo: Optional[Dict[Facts, Optional[str]]] = None,
+) -> bool:
+    """Boolean form of :func:`partial_prune_reason`."""
+    return partial_prune_reason(partial, examples, config, memo) is not None
+
+
+def prune_checker(examples: Examples, config: SynthesisConfig):
+    """A ``partial -> reason | None`` callable specialised to one run.
+
+    Semantically identical to calling :func:`partial_prune_reason` with a
+    caller-owned memo, but the configuration flags, ``kmax``, and the
+    facts→verdict memo are resolved once instead of per successor — the
+    engine calls this in its innermost expansion loop.
+    """
+    if not config.use_approximation or not config.use_static_analysis:
+        return lambda partial: None
+    kmax = config.max_kappa if config.use_symbolic_ints else None
+    hole_depth = config.hole_depth
+    memo: Dict[Facts, Optional[str]] = {}
+
+    def check(partial: PartialRegex) -> Optional[str]:
+        facts = facts_of_partial(partial, hole_depth, kmax)
+        reason = memo.get(facts, _UNKNOWN)
+        if reason is _UNKNOWN:
+            reason = memo[facts] = _verdict(facts, examples)
+        return reason
+
+    return check

@@ -1,0 +1,280 @@
+"""User-facing diagnostics derived from the static analyzer.
+
+A :class:`Diagnostic` is a structured finding — code, severity, node path,
+message — produced by the lint entry points below and surfaced through the
+``regel lint`` CLI subcommand and the service's ``POST /v1/lint`` endpoint.
+
+Severities:
+
+* ``error`` — the problem/sketch is statically unsatisfiable; submitting it
+  to the engine can only burn budget (the service rejects these with a 422);
+* ``warning`` — a construct is provably useless (vacuous subtree, dead ``Or``
+  alternative, sketch that rejects a positive example) but the search may
+  still succeed around it;
+* ``info`` — stylistic or redundancy notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.analyzer import facts_of_regex, facts_of_sketch
+from repro.dsl import ast as rast
+from repro.dsl.charclass import PRINTABLE_ALPHABET
+from repro.sketch import ast as sast
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the analyzer, addressable by node path."""
+
+    code: str
+    severity: str
+    path: str
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Diagnostic":
+        return cls(
+            code=str(data["code"]),
+            severity=str(data.get("severity", SEVERITY_WARNING)),
+            path=str(data.get("path", "")),
+            message=str(data.get("message", "")),
+        )
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == SEVERITY_ERROR for d in diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# Regex / sketch lint
+# ---------------------------------------------------------------------------
+
+def lint_regex(regex: rast.Regex, path: str = "root") -> List[Diagnostic]:
+    """Statically-provable findings about a concrete regex."""
+    out: List[Diagnostic] = []
+    _lint_regex(regex, path, out, root=True)
+    return out
+
+
+def _lint_regex(
+    regex: rast.Regex, path: str, out: List[Diagnostic], root: bool = False
+) -> None:
+    facts = facts_of_regex(regex)
+    if facts.empty and not isinstance(regex, rast.EmptySet):
+        out.append(
+            Diagnostic(
+                code="vacuous-subtree",
+                severity=SEVERITY_ERROR if root else SEVERITY_WARNING,
+                path=path,
+                message=f"`{regex!r}` provably matches no string",
+            )
+        )
+        return  # findings inside a vacuous subtree are noise
+    if isinstance(regex, rast.Or):
+        for side, child in (("left", regex.left), ("right", regex.right)):
+            if facts_of_regex(child).empty:
+                out.append(
+                    Diagnostic(
+                        code="dead-or-branch",
+                        severity=SEVERITY_WARNING,
+                        path=f"{path}.{side}",
+                        message=f"`Or` alternative `{child!r}` matches no string",
+                    )
+                )
+    if isinstance(regex, rast.Optional) and facts_of_regex(regex.arg).must_empty:
+        out.append(
+            Diagnostic(
+                code="redundant-optional",
+                severity=SEVERITY_INFO,
+                path=path,
+                message=f"`{regex.arg!r}` already matches the empty string",
+            )
+        )
+    for index, child in enumerate(regex.children()):
+        _lint_regex(child, _child_path(path, regex, index), out)
+
+
+def _child_path(path: str, regex: rast.Regex, index: int) -> str:
+    if isinstance(regex, (rast.Concat, rast.Or, rast.And)):
+        return f"{path}.{'left' if index == 0 else 'right'}"
+    return f"{path}.arg"
+
+
+def lint_sketch(
+    sketch: sast.Sketch, hole_depth: int = 3, path: str = "root"
+) -> List[Diagnostic]:
+    """Statically-provable findings about an h-sketch."""
+    out: List[Diagnostic] = []
+    _lint_sketch(sketch, hole_depth, path, out, root=True)
+    return out
+
+
+def _lint_sketch(
+    sketch: sast.Sketch,
+    hole_depth: int,
+    path: str,
+    out: List[Diagnostic],
+    root: bool = False,
+) -> None:
+    facts = facts_of_sketch(sketch, hole_depth)
+    if facts.empty:
+        out.append(
+            Diagnostic(
+                code="unsatisfiable-sketch" if root else "vacuous-subtree",
+                severity=SEVERITY_ERROR if root else SEVERITY_WARNING,
+                path=path,
+                message=f"no completion of `{sketch!r}` matches any string",
+            )
+        )
+        return
+    if isinstance(sketch, sast.ConcreteRegexSketch):
+        _lint_regex(sketch.regex, path, out)
+        return
+    if isinstance(sketch, sast.OpSketch):
+        if sketch.op == "Or":
+            for index, arg in enumerate(sketch.args):
+                if facts_of_sketch(arg, hole_depth).empty:
+                    out.append(
+                        Diagnostic(
+                            code="dead-or-branch",
+                            severity=SEVERITY_WARNING,
+                            path=f"{path}.args[{index}]",
+                            message=f"`Or` alternative `{arg!r}` matches no string",
+                        )
+                    )
+        for index, arg in enumerate(sketch.args):
+            _lint_sketch(arg, hole_depth, f"{path}.args[{index}]", out)
+    elif isinstance(sketch, sast.IntOpSketch):
+        _lint_sketch(sketch.arg, hole_depth, f"{path}.arg", out)
+    elif isinstance(sketch, sast.Hole):
+        for index, component in enumerate(sketch.components):
+            _lint_sketch(component, hole_depth, f"{path}.components[{index}]", out)
+
+
+# ---------------------------------------------------------------------------
+# Problem lint
+# ---------------------------------------------------------------------------
+
+def lint_examples(
+    positive: Sequence[str], negative: Sequence[str]
+) -> List[Diagnostic]:
+    """Findings about an example set, independent of any sketch."""
+    out: List[Diagnostic] = []
+    conflicts = sorted(set(positive) & set(negative))
+    for example in conflicts:
+        out.append(
+            Diagnostic(
+                code="conflicting-examples",
+                severity=SEVERITY_ERROR,
+                path="examples",
+                message=f"{example!r} is listed as both positive and negative; "
+                "no regex can satisfy both",
+            )
+        )
+    for kind, values in (("positive", positive), ("negative", negative)):
+        seen = set()
+        for index, example in enumerate(values):
+            if example in seen:
+                out.append(
+                    Diagnostic(
+                        code="duplicate-example",
+                        severity=SEVERITY_INFO,
+                        path=f"examples.{kind}[{index}]",
+                        message=f"duplicate {kind} example {example!r}",
+                    )
+                )
+            seen.add(example)
+    alphabet = frozenset(PRINTABLE_ALPHABET)
+    for index, example in enumerate(positive):
+        foreign = sorted(set(example) - alphabet)
+        if foreign:
+            out.append(
+                Diagnostic(
+                    code="alphabet-escape",
+                    severity=SEVERITY_WARNING,
+                    path=f"examples.positive[{index}]",
+                    message=f"positive example {example!r} uses characters outside "
+                    f"the DSL alphabet ({foreign!r}); no character class can "
+                    "match them",
+                )
+            )
+    return out
+
+
+def lint_problem(
+    problem: Any,
+    sketches: Sequence[Tuple[str, sast.Sketch]] = (),
+    hole_depth: int = 3,
+) -> List[Diagnostic]:
+    """Findings about a synthesis problem and (optionally) its sketches.
+
+    ``problem`` is anything with ``positive``/``negative`` sequences (the
+    pipeline's :class:`repro.api.problem.Problem`, kept duck-typed to avoid an
+    import cycle through the engine).  ``sketches`` pairs a display name with
+    a parsed sketch.
+    """
+    out = lint_examples(tuple(problem.positive), tuple(problem.negative))
+    negatives = tuple(problem.negative)
+    for name, sketch in sketches:
+        prefix = f"sketch[{name}]"
+        out.extend(lint_sketch(sketch, hole_depth, path=prefix))
+        facts = facts_of_sketch(sketch, hole_depth)
+        for index, example in enumerate(tuple(problem.positive)):
+            reason = facts.reject_reason(example)
+            if reason is not None:
+                out.append(
+                    Diagnostic(
+                        code="sketch-rejects-positive",
+                        severity=SEVERITY_WARNING,
+                        path=f"{prefix}/examples.positive[{index}]",
+                        message=f"no completion can match positive example "
+                        f"{example!r} ({reason})",
+                    )
+                )
+        if negatives and facts.universal:
+            out.append(
+                Diagnostic(
+                    code="sketch-matches-negative",
+                    severity=SEVERITY_WARNING,
+                    path=prefix,
+                    message="every completion matches every string, including "
+                    "all negative examples",
+                )
+            )
+    return out
+
+
+def problem_unsatisfiable(problem: Any) -> Optional[Diagnostic]:
+    """The sound problem-level rejection check used at the service boundary.
+
+    Only example conflicts are reported: any two *disjoint* finite example
+    sets are separable in the DSL (an ``Or`` of string literals), so the
+    presence of the same string on both sides is the one problem-level fact
+    that proves unsatisfiability outright.
+    """
+    conflicts = sorted(set(problem.positive) & set(problem.negative))
+    if not conflicts:
+        return None
+    return Diagnostic(
+        code="unsatisfiable",
+        severity=SEVERITY_ERROR,
+        path="examples",
+        message="problem is statically unsatisfiable: "
+        + ", ".join(repr(example) for example in conflicts)
+        + " appear(s) in both the positive and negative example sets",
+    )

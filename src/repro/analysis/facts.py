@@ -1,0 +1,424 @@
+"""The abstract domain of the static analyzer.
+
+A :class:`Facts` value describes a *pair* of languages ``(O, U)`` with
+``U ⊆ L ⊆ O`` for every language ``L`` an analyzed (partial) program can
+denote — the same over-/under-approximation contract as Figures 11–12, but
+abstracted further into cheap, decidable facts:
+
+* the **over side** (``min_len``/``max_len``, ``first``/``last``/``allowed``
+  character sets, ``required`` groups, ``empty``) holds for ``O`` and is used
+  to prove a *positive* example unmatchable — a string outside ``O`` is
+  outside every completion's language;
+* the **under side** (``universal``, ``must_empty``) holds for ``U`` and is
+  used to prove a *negative* example unavoidably matched — a string inside
+  ``U`` is inside every completion's language.
+
+Soundness is one-directional by design: the analysis may answer "maybe", it
+must never produce a wrong "no".  Every combinator below therefore rounds
+towards ⊤ (``None`` character sets, ``max_len=None``, empty ``required``)
+whenever precision would cost soundness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple
+
+CharSet = FrozenSet[str]
+
+#: Cap on the number of ``required`` groups kept per node.  ``required`` is a
+#: conjunction, so dropping groups only loses precision, never soundness.
+MAX_REQUIRED_GROUPS = 8
+
+
+@dataclass(frozen=True)
+class Facts:
+    """Abstract facts about a (partial) regex's possible languages.
+
+    The default value is ⊤: over side "any string may match", under side
+    "no string provably matches" — the correct abstraction of a hole.
+    """
+
+    #: Every string of ``O`` has length at least ``min_len``.
+    min_len: int = 0
+    #: Every string of ``O`` has length at most ``max_len`` (``None`` = ∞).
+    max_len: Optional[int] = None
+    #: Every *non-empty* string of ``O`` starts with a character from
+    #: ``first`` (``None`` = unknown/any).
+    first: Optional[CharSet] = None
+    #: Every non-empty string of ``O`` ends with a character from ``last``.
+    last: Optional[CharSet] = None
+    #: Every character of every string of ``O`` belongs to ``allowed``.
+    allowed: Optional[CharSet] = None
+    #: Conjunction of groups: every string of ``O`` contains at least one
+    #: character from *each* group.
+    required: FrozenSet[CharSet] = frozenset()
+    #: ``O`` is provably the empty language (no completion matches anything).
+    empty: bool = False
+    #: ``U`` provably contains **every** string — over the full (unbounded)
+    #: alphabet, not merely the printable one; only truly-universal
+    #: constructions (e.g. ``Not(<null>)``) may set this.
+    universal: bool = False
+    #: ``U`` provably contains the empty string.
+    must_empty: bool = False
+
+    def may_match(self, subject: str) -> bool:
+        """Whether ``subject`` may be in ``O`` (False is a *proof* of absence)."""
+        return self.reject_reason(subject) is None
+
+    def reject_reason(self, subject: str) -> Optional[str]:
+        """The first fact proving ``subject ∉ O``, or None when it may match."""
+        if self.empty:
+            return "empty-language"
+        n = len(subject)
+        if n < self.min_len:
+            return "too-short"
+        if self.max_len is not None and n > self.max_len:
+            return "too-long"
+        if n == 0:
+            return None
+        if self.first is not None and subject[0] not in self.first:
+            return "first-char"
+        if self.last is not None and subject[-1] not in self.last:
+            return "last-char"
+        if self.allowed is not None and not self.allowed.issuperset(subject):
+            return "foreign-char"
+        if self.required:
+            chars = frozenset(subject)
+            for group in self.required:
+                if chars.isdisjoint(group):
+                    return "missing-required-char"
+        return None
+
+    def must_match(self, subject: str) -> bool:
+        """Whether ``subject`` is provably in ``U`` (True is a proof of presence)."""
+        if self.universal:
+            return True
+        return self.must_empty and not subject
+
+
+#: ⊤ — a hole: anything may match, nothing must.
+TOP_FACTS = Facts()
+
+#: The empty language.  The inconsistent interval ``[1, 0]`` makes the
+#: emptiness visible to interval arithmetic too.
+EMPTY_FACTS = Facts(
+    min_len=1,
+    max_len=0,
+    first=frozenset(),
+    last=frozenset(),
+    allowed=frozenset(),
+    empty=True,
+)
+
+#: Exactly the empty string (on both sides).
+EPSILON_FACTS = Facts(
+    min_len=0,
+    max_len=0,
+    first=frozenset(),
+    last=frozenset(),
+    allowed=frozenset(),
+    must_empty=True,
+)
+
+
+def _union(a: Optional[CharSet], b: Optional[CharSet]) -> Optional[CharSet]:
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+def _inter(a: Optional[CharSet], b: Optional[CharSet]) -> Optional[CharSet]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b
+
+
+def _add(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _scale(a: Optional[int], n: Optional[int]) -> Optional[int]:
+    if a is None or n is None:
+        return None
+    return a * n
+
+
+def _min_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _group_key(group: CharSet) -> Tuple[int, Tuple[str, ...]]:
+    return len(group), tuple(sorted(group))
+
+
+def _norm(facts: Facts) -> Facts:
+    """Derive implied emptiness, tighten sets, and canonicalise.
+
+    * an inconsistent interval, or a mandatory character drawn from an empty
+      set, proves emptiness;
+    * ``first``/``last`` characters are characters of the match, so they can
+      be intersected with ``allowed``;
+    * a non-trivial ``required`` group implies a non-empty match.
+    """
+    empty = facts.empty
+    if facts.max_len is not None and facts.min_len > facts.max_len:
+        empty = True
+    first = _inter(facts.first, facts.allowed)
+    if first is not facts.first and first == facts.first:
+        first = facts.first  # preserve identity so the no-op fast path fires
+    last = _inter(facts.last, facts.allowed)
+    if last is not facts.last and last == facts.last:
+        last = facts.last
+    required = facts.required
+    if required:
+        tightened = []
+        changed = False
+        for group in required:
+            narrowed = group if facts.allowed is None else (group & facts.allowed)
+            if not narrowed:
+                empty = True
+                break
+            if narrowed != group:
+                changed = True
+                tightened.append(narrowed)
+            else:
+                tightened.append(group)
+        else:
+            if len(tightened) > MAX_REQUIRED_GROUPS:
+                tightened = sorted(tightened, key=_group_key)[:MAX_REQUIRED_GROUPS]
+                changed = True
+            if changed:
+                required = frozenset(tightened)
+    min_len = facts.min_len
+    if required and min_len < 1:
+        min_len = 1
+    if min_len > 0 and not empty:
+        for charset in (first, last, facts.allowed):
+            if charset is not None and not charset:
+                empty = True
+                break
+    if empty:
+        return EMPTY_FACTS
+    if (
+        min_len == facts.min_len
+        and first is facts.first
+        and last is facts.last
+        and required is facts.required
+    ):
+        # Already normal (the common case on warm transfer chains — ``_inter``
+        # and the group loop preserve identity when nothing tightens).
+        return facts
+    return replace(
+        facts, min_len=min_len, first=first, last=last, required=required
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transfer functions, one per DSL operator
+# ---------------------------------------------------------------------------
+
+def char_class_facts(chars: CharSet) -> Facts:
+    """``O = U =`` the single-character strings over ``chars``."""
+    return Facts(
+        min_len=1,
+        max_len=1,
+        first=chars,
+        last=chars,
+        allowed=chars,
+        required=frozenset((chars,)),
+    )
+
+
+def concat_facts(a: Facts, b: Facts) -> Facts:
+    if a.empty or b.empty:
+        return EMPTY_FACTS
+    return _norm(
+        Facts(
+            min_len=a.min_len + b.min_len,
+            max_len=_add(a.max_len, b.max_len),
+            first=a.first if a.min_len > 0 else _union(a.first, b.first),
+            last=b.last if b.min_len > 0 else _union(a.last, b.last),
+            allowed=_union(a.allowed, b.allowed),
+            required=a.required | b.required,
+            universal=a.universal and b.universal,
+            must_empty=a.must_empty and b.must_empty,
+        )
+    )
+
+
+def or_facts(a: Facts, b: Facts) -> Facts:
+    # The under side is a union, so an empty branch still contributes nothing
+    # and the other branch's guarantees survive.
+    universal = a.universal or b.universal
+    must_empty = a.must_empty or b.must_empty
+    if a.empty:
+        return _norm(replace(b, universal=universal, must_empty=must_empty))
+    if b.empty:
+        return _norm(replace(a, universal=universal, must_empty=must_empty))
+    # A group required by every match of the union must cover both branches:
+    # the pairwise unions of the branches' groups do exactly that.
+    required = frozenset(
+        group_a | group_b for group_a in a.required for group_b in b.required
+    )
+    return _norm(
+        Facts(
+            min_len=min(a.min_len, b.min_len),
+            max_len=None
+            if a.max_len is None or b.max_len is None
+            else max(a.max_len, b.max_len),
+            first=_union(a.first, b.first),
+            last=_union(a.last, b.last),
+            allowed=_union(a.allowed, b.allowed),
+            required=required,
+            universal=universal,
+            must_empty=must_empty,
+        )
+    )
+
+
+def and_facts(a: Facts, b: Facts) -> Facts:
+    if a.empty or b.empty:
+        return EMPTY_FACTS
+    return _norm(
+        Facts(
+            min_len=max(a.min_len, b.min_len),
+            max_len=_min_opt(a.max_len, b.max_len),
+            first=_inter(a.first, b.first),
+            last=_inter(a.last, b.last),
+            allowed=_inter(a.allowed, b.allowed),
+            required=a.required | b.required,
+            universal=a.universal and b.universal,
+            must_empty=a.must_empty and b.must_empty,
+        )
+    )
+
+
+def not_facts(a: Facts) -> Facts:
+    # Negation swaps the sides: O(¬r) = complement of U(r) and vice versa, so
+    # each side of the result is derived from the *other* side of the child.
+    return _norm(
+        Facts(
+            min_len=1 if a.must_empty else 0,
+            empty=a.universal,
+            universal=a.empty,
+            must_empty=a.min_len > 0,
+        )
+    )
+
+
+def starts_with_facts(a: Facts) -> Facts:
+    if a.empty:
+        return EMPTY_FACTS
+    return _norm(
+        Facts(
+            min_len=a.min_len,
+            first=a.first if a.min_len > 0 else None,
+            required=a.required,
+            # An ε prefix matches any string, so ε ∈ U(r) makes StartsWith(r)
+            # universal on the under side.
+            universal=a.must_empty,
+            must_empty=a.must_empty,
+        )
+    )
+
+
+def ends_with_facts(a: Facts) -> Facts:
+    if a.empty:
+        return EMPTY_FACTS
+    return _norm(
+        Facts(
+            min_len=a.min_len,
+            last=a.last if a.min_len > 0 else None,
+            required=a.required,
+            universal=a.must_empty,
+            must_empty=a.must_empty,
+        )
+    )
+
+
+def contains_facts(a: Facts) -> Facts:
+    if a.empty:
+        return EMPTY_FACTS
+    return _norm(
+        Facts(
+            min_len=a.min_len,
+            required=a.required,
+            universal=a.must_empty,
+            must_empty=a.must_empty,
+        )
+    )
+
+
+def optional_facts(a: Facts) -> Facts:
+    if a.empty:
+        return EPSILON_FACTS
+    return _norm(
+        Facts(
+            min_len=0,
+            max_len=a.max_len,
+            first=a.first,
+            last=a.last,
+            allowed=a.allowed,
+            # ε is a match and contains no character, so nothing is required.
+            required=frozenset(),
+            universal=a.universal,
+            must_empty=True,
+        )
+    )
+
+
+def star_facts(a: Facts) -> Facts:
+    if a.empty or a.max_len == 0:
+        return EPSILON_FACTS
+    return _norm(
+        Facts(
+            min_len=0,
+            first=a.first,
+            last=a.last,
+            allowed=a.allowed,
+            required=frozenset(),
+            universal=a.universal,
+            must_empty=True,
+        )
+    )
+
+
+def repeat_facts(a: Facts, low: int, high: Optional[int]) -> Facts:
+    """``low..high`` repetitions (``high=None`` = unbounded), with ``low ≥ 1``.
+
+    Covers ``Repeat`` (``low == high``), ``RepeatAtLeast`` (``high=None``)
+    and ``RepeatRange``.  With at least one repetition guaranteed, the
+    child's character facts carry over unchanged: the first block supplies
+    ``first``/``required``, the last supplies ``last``.
+    """
+    if a.empty:
+        return EMPTY_FACTS
+    max_len = 0 if a.max_len == 0 else _scale(a.max_len, high)
+    return _norm(
+        Facts(
+            min_len=a.min_len * low,
+            max_len=max_len,
+            first=a.first,
+            last=a.last,
+            allowed=a.allowed,
+            required=a.required,
+            universal=a.universal,
+            must_empty=a.must_empty,
+        )
+    )
+
+
+def drop_under(facts: Facts) -> Facts:
+    """Forget the under side (``U = ∅``) — the Figure-11/12 symbolic-integer rule."""
+    if not facts.universal and not facts.must_empty:
+        return facts
+    return replace(facts, universal=False, must_empty=False)

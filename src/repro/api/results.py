@@ -94,6 +94,11 @@ class SketchReport:
     solver_conflicts: int = 0
     #: Figure-13 encoding-cache hits during this sketch's search.
     encode_cache_hits: int = 0
+    #: Successors rejected by the static analyzer before any membership query
+    #: (hits) and successors it could not rule out (misses); zero in reports
+    #: produced before the analyzer existed.
+    static_prune_hits: int = 0
+    static_prune_misses: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -110,6 +115,8 @@ class SketchReport:
             "solver_propagations": self.solver_propagations,
             "solver_conflicts": self.solver_conflicts,
             "encode_cache_hits": self.encode_cache_hits,
+            "static_prune_hits": self.static_prune_hits,
+            "static_prune_misses": self.static_prune_misses,
         }
 
     @classmethod
@@ -128,6 +135,8 @@ class SketchReport:
             solver_propagations=data.get("solver_propagations", 0),
             solver_conflicts=data.get("solver_conflicts", 0),
             encode_cache_hits=data.get("encode_cache_hits", 0),
+            static_prune_hits=data.get("static_prune_hits", 0),
+            static_prune_misses=data.get("static_prune_misses", 0),
         )
 
 
@@ -176,6 +185,17 @@ class RunReport:
     @property
     def total_eval_cache_hits(self) -> int:
         return sum(report.eval_cache_hits for report in self.sketches)
+
+    @property
+    def total_static_prune_hits(self) -> int:
+        return sum(report.static_prune_hits for report in self.sketches)
+
+    @property
+    def static_prune_rate(self) -> float:
+        """Fraction of analyzer-checked successors that were pruned statically."""
+        hits = self.total_static_prune_hits
+        total = hits + sum(report.static_prune_misses for report in self.sketches)
+        return hits / total if total else 0.0
 
     @property
     def total_solver_propagations(self) -> int:

@@ -1,12 +1,16 @@
 """Command-line interface over the pipeline API and the HTTP service.
 
-Four subcommands:
+Five subcommands:
 
 * ``regel solve "description" --pos a --pos b --neg c`` — solve one problem
   in-process; ``--json`` emits the full machine-readable
   :class:`~repro.api.RunReport`,
 * ``regel batch problems.json`` — solve a JSON array (or JSON-lines stream)
   of problem specs, emitting one report per line (JSON lines),
+* ``regel lint --pos a --neg b --sketch S`` — static analysis only: report
+  contradictory example sets, statically-unsatisfiable sketches, vacuous
+  subtrees, and dead ``Or`` alternatives without running the engine
+  (see ``docs/analysis.md``),
 * ``regel serve`` — run the HTTP/JSON service (worker pool + persistent
   result cache; see ``docs/api.md`` and ``docs/deployment.md``),
 * ``regel client "description" --pos a --server URL`` — solve against a
@@ -101,6 +105,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--pbe-only", action="store_true", help="examples-only synthesis for every problem"
     )
     batch.add_argument("--sketches", type=int, default=25, help="number of sketches to try")
+
+    lint = subparsers.add_parser(
+        "lint", help="statically analyze a problem and sketches without solving"
+    )
+    lint.add_argument(
+        "description", nargs="?", default="",
+        help="natural-language description (optional; not analyzed)",
+    )
+    lint.add_argument("--pos", action="append", default=[], help="positive example (repeatable)")
+    lint.add_argument("--neg", action="append", default=[], help="negative example (repeatable)")
+    lint.add_argument(
+        "--sketch",
+        action="append",
+        default=[],
+        metavar="SKETCH",
+        help="sketch in textual notation to analyze against the examples (repeatable)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit diagnostics as JSON")
 
     serve = subparsers.add_parser(
         "serve", help="run the HTTP/JSON synthesis service (see docs/api.md)"
@@ -251,6 +273,40 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import SEVERITY_ERROR, has_errors, lint_problem, problem_unsatisfiable
+    from repro.sketch.parser import parse_sketch
+
+    problem = Problem(
+        description=args.description, positive=args.pos, negative=args.neg
+    )
+    sketches = [(text, parse_sketch(text)) for text in args.sketch]
+    diagnostics = lint_problem(problem, sketches=sketches)
+    satisfiable = problem_unsatisfiable(problem) is None
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "satisfiable": satisfiable,
+                    "diagnostics": [diag.to_dict() for diag in diagnostics],
+                },
+                indent=2,
+            )
+        )
+        return 1 if has_errors(diagnostics) else 0
+    if not diagnostics:
+        print("no diagnostics")
+        return 0
+    for diag in diagnostics:
+        print(f"{diag.severity}: {diag.code} at {diag.path}: {diag.message}")
+    errors = sum(diag.severity == SEVERITY_ERROR for diag in diagnostics)
+    summary = f"{len(diagnostics)} diagnostic(s), {errors} error(s)"
+    if not satisfiable:
+        summary += " — the problem is statically unsatisfiable"
+    print(summary, file=sys.stderr)
+    return 1 if errors else 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, serve
 
@@ -318,7 +374,7 @@ def _run_client(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv if argv is not None else sys.argv[1:])
     # Backwards compatibility: `regel "description" --pos ...` means `solve`.
-    if argv and argv[0] not in {"solve", "batch", "serve", "client", "-h", "--help"}:
+    if argv and argv[0] not in {"solve", "batch", "lint", "serve", "client", "-h", "--help"}:
         argv = ["solve", *argv]
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -328,6 +384,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "batch":
             return _run_batch(args)
+        if args.command == "lint":
+            return _run_lint(args)
         if args.command == "serve":
             return _run_serve(args)
         if args.command == "client":

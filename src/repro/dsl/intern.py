@@ -20,12 +20,21 @@ values, so structural equality coincides with object identity.  That makes
 The intern tables hold their values weakly, so nodes are reclaimed once the
 last external reference dies; caches keyed by nodes should likewise use weak
 keys (or live on objects with a bounded lifetime, like a per-subject matcher).
+
+Interning is process-global and the service's worker pool constructs nodes
+from many threads, so inserts are serialised through
+:data:`repro.caches.CACHE_LOCK`: if two threads race past the lock-free
+lookup, only one candidate is published and both threads return it — a second
+"canonical" object for the same structure would break identity equality for
+the rest of the process.  Lookups stay lock-free (safe under the GIL; a
+published entry never changes).
 """
 
 from __future__ import annotations
 
-import weakref
 from typing import Any, Tuple
+
+from repro import caches
 
 
 class InternedMeta(type):
@@ -42,22 +51,43 @@ class InternedMeta(type):
 
     def __new__(mcls, name, bases, namespace, **kwargs):
         cls = super().__new__(mcls, name, bases, namespace, **kwargs)
-        cls._intern_table = weakref.WeakValueDictionary()
+        cls._intern_table = caches.register_cache(
+            f"{namespace.get('__module__', 'repro')}.{name}._intern_table",
+            caches.GuardedWeakValueDictionary(),
+        )
         return cls
 
     def __call__(cls, *args: Any, **kwargs: Any):
+        # Fast path: positional args in already-normalised form *are* the
+        # field tuple, so probe the table before paying for a candidate
+        # construction that a hit would discard.  A stored key always has
+        # full field arity, so defaulted/unnormalised/unhashable args simply
+        # miss and fall through to the slow path.
+        table = cls._intern_table
+        if not kwargs:
+            try:
+                # table.data maps key -> KeyedRef; probing it directly skips
+                # WeakValueDictionary.get's Python frame on this hot path.
+                ref = table.data.get(args)
+            except TypeError:  # unhashable arg (e.g. a list of children)
+                ref = None
+            if ref is not None:
+                canonical = ref()
+                if canonical is not None:
+                    return canonical
         candidate = super().__call__(*args, **kwargs)
         fields = getattr(cls, "__dataclass_fields__", None)
         if fields is None:  # abstract bases are never interned
             return candidate
         key = tuple(getattr(candidate, name) for name in fields)
-        table = cls._intern_table
         canonical = table.get(key)
         if canonical is not None:
             return canonical
         object.__setattr__(candidate, "_hash", hash((cls, key)))
-        table[key] = candidate
-        return candidate
+        # Serialised publish: a racing thread may have interned an equal
+        # candidate since the lock-free lookup above; the first insert wins
+        # and every constructor call returns that canonical object.
+        return caches.cache_insert(table, key, candidate)
 
 
 def _interned_hash(self) -> int:
@@ -99,3 +129,34 @@ def freeze_interned(*classes: type) -> None:
 def intern_table_sizes(*classes: type) -> dict:
     """Live canonical-instance counts per class (diagnostics / tests)."""
     return {cls.__name__: len(cls._intern_table) for cls in classes}
+
+
+def check_intern_tables(*classes: type) -> int:
+    """Verify intern-table consistency; returns the number of entries checked.
+
+    For every live entry the table key must equal the instance's field tuple,
+    the cached hash must match, and re-running the constructor must return
+    the *same object* — the invariant a lost insert race would break.  Raises
+    ``AssertionError`` on the first violation.
+    """
+    checked = 0
+    for cls in classes:
+        fields = getattr(cls, "__dataclass_fields__", None)
+        if fields is None:
+            continue
+        with caches.CACHE_LOCK:
+            entries = list(cls._intern_table.items())
+        for key, node in entries:
+            actual = tuple(getattr(node, name) for name in fields)
+            if actual != key:
+                raise AssertionError(
+                    f"{cls.__name__} intern entry keyed {key!r} holds fields {actual!r}"
+                )
+            if hash(node) != hash((cls, key)):
+                raise AssertionError(f"{cls.__name__} cached hash drifted for {node!r}")
+            if cls(*actual) is not node:
+                raise AssertionError(
+                    f"{cls.__name__}{actual!r} re-interned to a distinct object"
+                )
+            checked += 1
+    return checked

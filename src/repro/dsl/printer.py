@@ -14,8 +14,8 @@ Two output formats are supported:
 from __future__ import annotations
 
 import re as _re
-import weakref
 
+from repro import caches
 from repro.dsl import ast
 from repro.dsl.charclass import CharClassKind
 
@@ -28,7 +28,9 @@ class UnsupportedConstructError(Exception):
 _NAMED_LITERAL_DISPLAY = {" ": "<space>", "\t": "<tab>"}
 
 #: Rendered notation per interned node (weak keys: the cache follows the AST).
-_DSL_STRING_CACHE: "weakref.WeakKeyDictionary[ast.Regex, str]" = weakref.WeakKeyDictionary()
+_DSL_STRING_CACHE: "caches.GuardedWeakKeyDictionary" = caches.register_cache(
+    "repro.dsl.printer._DSL_STRING_CACHE", caches.GuardedWeakKeyDictionary()
+)
 
 
 def to_dsl_string(regex: ast.Regex) -> str:
@@ -40,8 +42,7 @@ def to_dsl_string(regex: ast.Regex) -> str:
     """
     cached = _DSL_STRING_CACHE.get(regex)
     if cached is None:
-        cached = _render_dsl_string(regex)
-        _DSL_STRING_CACHE[regex] = cached
+        cached = caches.cache_insert(_DSL_STRING_CACHE, regex, _render_dsl_string(regex))
     return cached
 
 

@@ -25,6 +25,8 @@ language-level reasoning (complement, equivalence, sampling).
 
 from __future__ import annotations
 
+from functools import reduce
+from operator import ior
 from typing import Dict, List, Tuple
 
 from repro.dsl import ast
@@ -33,6 +35,16 @@ from repro.dsl.charclass import chars_of
 
 def _lowest_bit_index(mask: int) -> int:
     return (mask & -mask).bit_length() - 1
+
+
+def _bit_indices(mask: int) -> Tuple[int, ...]:
+    """Indices of the set bits of ``mask``, ascending."""
+    indices = []
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        indices.append(low.bit_length() - 1)
+    return tuple(indices)
 
 
 class Matcher:
@@ -44,7 +56,15 @@ class Matcher:
     engine's telemetry (:class:`repro.api.results.SketchReport`).
     """
 
-    __slots__ = ("subject", "cache_hits", "cache_misses", "_n", "_sets", "_full")
+    __slots__ = (
+        "subject",
+        "cache_hits",
+        "cache_misses",
+        "_n",
+        "_sets",
+        "_full",
+        "_bits",
+    )
 
     def __init__(self, subject: str):
         self.subject = subject
@@ -55,12 +75,22 @@ class Matcher:
         self._sets: Dict[ast.Regex, List[int]] = {}
         all_bits = (1 << (n + 1)) - 1
         self._full = [all_bits & ~((1 << i) - 1) for i in range(n + 1)]
+        #: mask -> tuple of set-bit indices.  Row masks repeat heavily across
+        #: the node tables of one subject, so decoding each distinct mask once
+        #: lets span composition run its inner loop through C (map/reduce)
+        #: instead of a per-bit Python loop.
+        self._bits: Dict[int, Tuple[int, ...]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
     def matches(self, regex: ast.Regex) -> bool:
         """Return True iff ``regex`` matches the whole subject string."""
-        return bool((self.match_sets(regex)[0] >> self._n) & 1)
+        sets = self._sets.get(regex)
+        if sets is None:
+            sets = self.match_sets(regex)
+        else:
+            self.cache_hits += 1
+        return bool((sets[0] >> self._n) & 1)
 
     def matches_span(self, regex: ast.Regex, i: int, j: int) -> bool:
         """Return True iff ``regex`` matches ``subject[i:j]``."""
@@ -169,14 +199,19 @@ class Matcher:
     def _compose(self, left: List[int], right: List[int]) -> List[int]:
         """Span composition: out[i] bit j iff some k has left[i] bit k and right[k] bit j."""
         out = [0] * (self._n + 1)
+        bits = self._bits
+        getter = right.__getitem__
         for i in range(self._n, -1, -1):
             mask = left[i]
-            acc = 0
-            while mask:
-                low = mask & -mask
-                mask ^= low
-                acc |= right[low.bit_length() - 1]
-            out[i] = acc
+            if not mask:
+                continue
+            if not mask & (mask - 1):  # single span end: one row lookup
+                out[i] = right[mask.bit_length() - 1]
+                continue
+            indices = bits.get(mask)
+            if indices is None:
+                indices = bits[mask] = _bit_indices(mask)
+            out[i] = reduce(ior, map(getter, indices))
         return out
 
     def _star(self, child: List[int]) -> List[int]:
@@ -184,13 +219,15 @@ class Matcher:
         n = self._n
         out = [0] * (n + 1)
         out[n] = 1 << n
+        bits = self._bits
         for i in range(n - 1, -1, -1):
             acc = 1 << i
-            mask = child[i] & ~(1 << i)  # empty pieces add nothing
-            while mask:
-                low = mask & -mask
-                mask ^= low
-                acc |= out[low.bit_length() - 1]
+            mask = child[i] & ~acc  # empty pieces add nothing
+            if mask:
+                indices = bits.get(mask)
+                if indices is None:
+                    indices = bits[mask] = _bit_indices(mask)
+                acc = reduce(ior, map(out.__getitem__, indices), acc)
             out[i] = acc
         return out
 

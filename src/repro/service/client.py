@@ -1,6 +1,6 @@
 """A small stdlib HTTP client for the service (used by ``regel client``).
 
-:class:`ServiceClient` wraps the six endpoints with typed helpers; the only
+:class:`ServiceClient` wraps the endpoints with typed helpers; the only
 dependency is :mod:`urllib.request`.  Server-side errors (the uniform
 ``{"error": {"code", "message"}}`` envelope) surface as :class:`ServiceError`
 with the parsed code, so callers can branch on ``exc.code == "saturated"``
@@ -90,6 +90,19 @@ class ServiceClient:
     def submit(self, problem: Problem) -> Dict[str, Any]:
         """Async submit: returns the job record (``job_id``, ``status``, ...)."""
         return self._request("POST", "/v1/jobs", problem.to_dict())
+
+    def lint(
+        self, problem: Problem, sketches: Optional[list] = None
+    ) -> Dict[str, Any]:
+        """Static analysis only: ``{"satisfiable": ..., "diagnostics": [...]}``.
+
+        ``sketches`` is an optional list of sketch strings to analyze against
+        the problem's examples.
+        """
+        payload = problem.to_dict()
+        if sketches:
+            payload["sketches"] = list(sketches)
+        return self._request("POST", "/v1/lint", payload)
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")

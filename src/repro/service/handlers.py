@@ -10,12 +10,17 @@ server module a thin routing shim.
 Request flow for a solve (sync or async):
 
 1. validate the body into a :class:`~repro.api.Problem` (:mod:`wire`),
-2. look up the canonical problem hash in the cache — a hit answers
+2. reject statically-unsatisfiable problems (conflicting example sets) with
+   HTTP 422 before they occupy a warm worker (:mod:`repro.analysis`),
+3. look up the canonical problem hash in the cache — a hit answers
    immediately with ``provenance: "cache"`` and never touches the pool,
-3. on a miss, enqueue a :class:`~repro.service.pool.Job`; a full queue is
+4. on a miss, enqueue a :class:`~repro.service.pool.Job`; a full queue is
    HTTP 429 (back-pressure),
-4. completed engine runs are written through to the cache, so the next
+5. completed engine runs are written through to the cache, so the next
    identical request from any user is a hit.
+
+``POST /v1/lint`` runs the same analyzer in report-only mode: full
+diagnostics, always 200, nothing queued.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.analysis.diagnostics import lint_problem, problem_unsatisfiable
 from repro.api.providers import NlSketchProvider
 from repro.api.schedulers import SCHEDULERS, make_scheduler
 from repro.api.session import Session
@@ -38,6 +44,7 @@ from repro.service.wire import (
     WireError,
     error_body,
     job_body,
+    parse_lint_sketches,
     parse_problem,
 )
 
@@ -202,6 +209,21 @@ class ServiceState:
 
     # -- endpoints -----------------------------------------------------------
 
+    @staticmethod
+    def _reject_unsatisfiable(problem) -> Optional[Response]:
+        """The pre-queue 422 for problems no regex can ever satisfy.
+
+        Only statically *proven* unsatisfiability is rejected (the analysis
+        may say "maybe", never a wrong "no"), so every accepted problem is
+        still worth a worker's time.
+        """
+        diagnostic = problem_unsatisfiable(problem)
+        if diagnostic is None:
+            return None
+        payload = error_body(diagnostic.code, diagnostic.message)
+        payload["diagnostics"] = [diagnostic.to_dict()]
+        return 422, payload
+
     def handle_solve(self, body: bytes) -> Response:
         """``POST /v1/solve`` — synchronous: block until the report is ready."""
         self.count("solve")
@@ -209,6 +231,9 @@ class ServiceState:
             problem = parse_problem(body, max_budget=self.config.max_budget)
         except WireError as exc:
             return exc.status, error_body(exc.code, str(exc))
+        rejected = self._reject_unsatisfiable(problem)
+        if rejected is not None:
+            return rejected
         key = problem.cache_key()
         cached = self._cached_report(key)
         if cached is not None:
@@ -239,6 +264,9 @@ class ServiceState:
             problem = parse_problem(body, max_budget=self.config.max_budget)
         except WireError as exc:
             return exc.status, error_body(exc.code, str(exc))
+        rejected = self._reject_unsatisfiable(problem)
+        if rejected is not None:
+            return rejected
         key = problem.cache_key()
         job = Job(problem, cache_key=key)
         cached = self._cached_report(key)
@@ -254,6 +282,27 @@ class ServiceState:
         except PoolSaturated as exc:
             return 429, error_body("saturated", str(exc))
         return 202, job_body(job)
+
+    def handle_lint(self, body: bytes) -> Response:
+        """``POST /v1/lint`` — static analysis only; never touches the pool.
+
+        The body is a Problem dict, optionally extended with ``"sketches"``:
+        a JSON array of sketch strings to analyze against the examples.
+        Always 200 with the full diagnostic list — linting an unsatisfiable
+        problem is the point, not an error.
+        """
+        self.count("lint")
+        try:
+            problem = parse_problem(body)
+            sketches = parse_lint_sketches(body)
+        except WireError as exc:
+            return exc.status, error_body(exc.code, str(exc))
+        diagnostics = lint_problem(problem, sketches)
+        return 200, {
+            "schema": WIRE_SCHEMA,
+            "satisfiable": problem_unsatisfiable(problem) is None,
+            "diagnostics": [diagnostic.to_dict() for diagnostic in diagnostics],
+        }
 
     def handle_job_get(self, job_id: str) -> Response:
         """``GET /v1/jobs/{id}`` — poll status + partial solutions."""

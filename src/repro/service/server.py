@@ -7,6 +7,7 @@ method    path                behaviour
 ========  ==================  ===========================================
 POST      ``/v1/solve``       Problem in, RunReport out (synchronous)
 POST      ``/v1/jobs``        Problem in, job record out (async submit)
+POST      ``/v1/lint``        Problem (+ sketches) in, diagnostics out
 GET       ``/v1/jobs/{id}``   poll status + partial solutions
 DELETE    ``/v1/jobs/{id}``   cooperative cancellation
 GET       ``/v1/healthz``     liveness probe
@@ -107,6 +108,10 @@ class RegelRequestHandler(BaseHTTPRequestHandler):
                 body = self._read_body()
                 if body is not None:
                     self._send(*state.handle_submit(body))
+            elif method == "POST" and self.path == "/v1/lint":
+                body = self._read_body()
+                if body is not None:
+                    self._send(*state.handle_lint(body))
             elif (match := _JOB_PATH.match(self.path)) and method == "GET":
                 self._send(*state.handle_job_get(match.group("job_id")))
             elif match and method == "DELETE":

@@ -92,6 +92,30 @@ def parse_problem(
     return problem
 
 
+def parse_lint_sketches(body: bytes) -> "list[tuple[str, Any]]":
+    """Extract and parse the optional ``"sketches"`` array of a lint body.
+
+    Returns ``(text, parsed_sketch)`` pairs.  Unknown keys in a Problem dict
+    are ignored by :meth:`Problem.from_dict`, so the same body serves both
+    ``parse_problem`` and this.
+    """
+    from repro.sketch.parser import parse_sketch
+
+    data = json.loads(body.decode("utf-8"))
+    entries = data.get("sketches", [])
+    if isinstance(entries, str) or not isinstance(entries, (list, tuple)):
+        raise WireError("sketches must be a JSON array of sketch strings")
+    parsed = []
+    for entry in entries:
+        if not isinstance(entry, str):
+            raise WireError("sketches must be a JSON array of sketch strings")
+        try:
+            parsed.append((entry, parse_sketch(entry)))
+        except (ValueError, TypeError) as exc:
+            raise WireError(f"invalid sketch {entry!r}: {exc}") from None
+    return parsed
+
+
 def job_body(job: "Job", include_report: bool = True) -> Dict[str, Any]:  # noqa: F821
     """Serialise a pool job for ``POST /v1/jobs`` / ``GET /v1/jobs/{id}``.
 

@@ -9,8 +9,7 @@ enumerating its completions (Theorem 4.4).
 
 from __future__ import annotations
 
-import weakref
-from typing import Dict, Tuple
+from typing import Tuple
 
 from repro.dsl import ast as rast
 from repro.sketch import ast as sast
@@ -100,20 +99,23 @@ class ApproxCacheStats:
 
 APPROX_CACHE_STATS = ApproxCacheStats()
 
-#: ``(over, under)`` per interned partial-regex subtree, keyed weakly so the
-#: cache dies with the search states.  Because expansion rebuilds only the
-#: spine from the expanded node to the root (see
-#: :func:`repro.synthesis.partial.replace_node`), every off-spine subtree of a
-#: successor is the *same object* as in its parent and hits this cache — the
-#: approximation becomes incremental in the depth of the expanded node.
-_PARTIAL_CACHE: "weakref.WeakKeyDictionary[PartialRegex, Dict[int, Approximation]]" = (
-    weakref.WeakKeyDictionary()
-)
-
 
 def approximate_partial(partial: PartialRegex, hole_depth: int = 3) -> Approximation:
-    """Over-/under-approximation ``(o, u)`` of a partial regex (cached)."""
-    per_depth = _PARTIAL_CACHE.get(partial)
+    """Over-/under-approximation ``(o, u)`` of a partial regex (cached).
+
+    The ``(over, under)`` pair is memoised *on* the interned node (the
+    ``_hash`` precedent from :mod:`repro.dsl.intern`): an attribute read is an
+    order of magnitude cheaper than a weak-dict lookup on this path, and the
+    entry's lifetime is identical to a weak-keyed one — it dies with the
+    node.  Because expansion rebuilds only the spine from the expanded node
+    to the root (see :func:`repro.synthesis.partial.replace_node`), every
+    off-spine subtree of a successor is the *same object* as in its parent
+    and hits this memo — the approximation is incremental in the depth of
+    the expanded node.  Thread safety: the function is pure and each memo
+    mutation is a single atomic bytecode, so a racing thread can at worst
+    overwrite an equal entry (benign lost update, recomputed on next call).
+    """
+    per_depth = getattr(partial, "_approx", None)
     if per_depth is not None:
         cached = per_depth.get(hole_depth)
         if cached is not None:
@@ -123,7 +125,7 @@ def approximate_partial(partial: PartialRegex, hole_depth: int = 3) -> Approxima
     result = _approximate_partial_uncached(partial, hole_depth)
     if per_depth is None:
         per_depth = {}
-        _PARTIAL_CACHE[partial] = per_depth
+        object.__setattr__(partial, "_approx", per_depth)
     per_depth[hole_depth] = result
     return result
 
@@ -173,10 +175,10 @@ def infeasible(
     if not config.use_approximation:
         return False
     over, under = approximate_partial(partial, config.hole_depth)
-    for positive in examples.positive:
-        if not examples.matches(over, positive):
+    for matcher in examples.positive_matchers():
+        if not matcher.matches(over):
             return True
-    for negative in examples.negative:
-        if examples.matches(under, negative):
+    for matcher in examples.negative_matchers():
+        if matcher.matches(under):
             return True
     return False

@@ -24,10 +24,10 @@ Two optimisations on top of the paper's presentation:
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import caches
 from repro.dsl import ast as rast
 from repro.solver import terms as T
 from repro.synthesis.config import SynthesisConfig
@@ -71,8 +71,8 @@ class _CachedEncoding:
 
 #: Canonical encodings per interned node, keyed (node, max_kappa).  Weak keys
 #: so the cache cannot outlive the search states it describes.
-_ENCODING_CACHE: "weakref.WeakKeyDictionary[object, Dict[int, _CachedEncoding]]" = (
-    weakref.WeakKeyDictionary()
+_ENCODING_CACHE: "caches.GuardedWeakKeyDictionary" = caches.register_cache(
+    "repro.synthesis.encode._ENCODING_CACHE", caches.GuardedWeakKeyDictionary()
 )
 
 
@@ -224,13 +224,20 @@ def _canonical(node, max_kappa: int) -> _CachedEncoding:
             return cached
     ENCODE_CACHE_STATS.misses += 1
     encoding = _encode_node(node, max_kappa)
-    if per_node is None:
-        per_node = {}
-        try:
-            _ENCODING_CACHE[node] = per_node
-        except TypeError:  # non-weakrefable nodes are simply not cached
-            return encoding
-    per_node[max_kappa] = encoding
+    # Shared across pool workers: publish both levels under the cache lock,
+    # keeping a racing winner's (identical) entry.
+    with caches.CACHE_LOCK:
+        per_node = _ENCODING_CACHE.get(node)
+        if per_node is None:
+            per_node = caches.GuardedDict()
+            try:
+                _ENCODING_CACHE[node] = per_node
+            except TypeError:  # non-weakrefable nodes are simply not cached
+                return encoding
+        existing = per_node.get(max_kappa)
+        if existing is not None:
+            return existing
+        per_node[max_kappa] = encoding
     return encoding
 
 

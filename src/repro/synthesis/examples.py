@@ -40,6 +40,8 @@ class Examples:
             )
         self.evaluator = evaluator
         self._matchers: Dict[str, Union[Matcher, RecursiveMatcher]] = {}
+        self._pos_matchers: tuple = ()
+        self._neg_matchers: tuple = ()
 
     def __repr__(self) -> str:
         return f"Examples(positive={list(self.positive)!r}, negative={list(self.negative)!r})"
@@ -63,17 +65,35 @@ class Examples:
         """Membership of one example string (cached)."""
         return self.matcher(text).matches(regex)
 
+    def positive_matchers(self) -> tuple:
+        """One matcher per positive example (built lazily, then reused)."""
+        matchers = self._pos_matchers
+        if len(matchers) != len(self.positive):
+            matchers = self._pos_matchers = tuple(
+                self.matcher(s) for s in self.positive
+            )
+        return matchers
+
+    def negative_matchers(self) -> tuple:
+        """One matcher per negative example (built lazily, then reused)."""
+        matchers = self._neg_matchers
+        if len(matchers) != len(self.negative):
+            matchers = self._neg_matchers = tuple(
+                self.matcher(s) for s in self.negative
+            )
+        return matchers
+
     def consistent(self, regex: ast.Regex) -> bool:
         """True iff the regex accepts every positive and rejects every negative example."""
-        return all(self.matches(regex, s) for s in self.positive) and not any(
-            self.matches(regex, s) for s in self.negative
-        )
+        return all(
+            matcher.matches(regex) for matcher in self.positive_matchers()
+        ) and not any(matcher.matches(regex) for matcher in self.negative_matchers())
 
     def accepts_all_positive(self, regex: ast.Regex) -> bool:
-        return all(self.matches(regex, s) for s in self.positive)
+        return all(matcher.matches(regex) for matcher in self.positive_matchers())
 
     def rejects_all_negative(self, regex: ast.Regex) -> bool:
-        return not any(self.matches(regex, s) for s in self.negative)
+        return not any(matcher.matches(regex) for matcher in self.negative_matchers())
 
     def eval_cache_stats(self) -> Tuple[int, int]:
         """Aggregate ``(hits, misses)`` of the per-node evaluation caches.

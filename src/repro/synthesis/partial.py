@@ -18,7 +18,6 @@ still contains symbolic integers.
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
@@ -115,20 +114,28 @@ def walk(partial: PartialRegex) -> Iterator[PartialRegex]:
             yield from walk(child)
 
 
-def open_nodes(partial: PartialRegex) -> list[POpen]:
-    """All open nodes in left-to-right order."""
-    return [node for node in walk(partial) if isinstance(node, POpen)]
+def open_nodes(partial: PartialRegex) -> tuple[POpen, ...]:
+    """All open nodes in left-to-right order (memoised on the node)."""
+    cached = getattr(partial, "_open", None)
+    if cached is None:
+        cached = tuple(node for node in walk(partial) if isinstance(node, POpen))
+        object.__setattr__(partial, "_open", cached)
+    return cached
 
 
-def symints_of(partial: PartialRegex) -> list[SymInt]:
-    """All symbolic integers in left-to-right order (without duplicates)."""
-    seen: dict[str, SymInt] = {}
-    for node in walk(partial):
-        if isinstance(node, POp):
-            for value in node.ints:
-                if isinstance(value, SymInt) and value.name not in seen:
-                    seen[value.name] = value
-    return list(seen.values())
+def symints_of(partial: PartialRegex) -> tuple[SymInt, ...]:
+    """All symbolic integers in left-to-right order (memoised, no duplicates)."""
+    cached = getattr(partial, "_symints", None)
+    if cached is None:
+        seen: dict[str, SymInt] = {}
+        for node in walk(partial):
+            if isinstance(node, POp):
+                for value in node.ints:
+                    if isinstance(value, SymInt) and value.name not in seen:
+                        seen[value.name] = value
+        cached = tuple(seen.values())
+        object.__setattr__(partial, "_symints", cached)
+    return cached
 
 
 def is_concrete(partial: PartialRegex) -> bool:
@@ -141,14 +148,14 @@ def is_symbolic(partial: PartialRegex) -> bool:
     return not open_nodes(partial) and bool(symints_of(partial))
 
 
-#: Cached sizes per interned subtree; weak keys so the cache cannot outlive
-#: the search states it describes.
-_SIZE_CACHE: "weakref.WeakKeyDictionary[PartialRegex, int]" = weakref.WeakKeyDictionary()
-
-
 def partial_size(partial: PartialRegex) -> int:
-    """Number of nodes (used by the search priority)."""
-    cached = _SIZE_CACHE.get(partial)
+    """Number of nodes (used by the search priority).
+
+    Memoised on the interned node itself (like ``_hash``): the write is a
+    single atomic attribute store of a value every racing thread computes
+    identically, and the entry dies with the node.
+    """
+    cached = getattr(partial, "_size", None)
     if cached is not None:
         return cached
     if isinstance(partial, PLeaf):
@@ -159,7 +166,7 @@ def partial_size(partial: PartialRegex) -> int:
         result = 1 + sum(partial_size(child) for child in partial.children)
     else:
         raise TypeError(f"unknown partial regex node: {partial!r}")
-    _SIZE_CACHE[partial] = result
+    object.__setattr__(partial, "_size", result)
     return result
 
 

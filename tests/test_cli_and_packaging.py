@@ -1,8 +1,10 @@
 """Smoke tests for packaging metadata, public API surface, and documentation files."""
 
+import json
 import pathlib
 
 import repro
+from repro.cli import main
 
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -79,3 +81,44 @@ class TestDocumentation:
     def test_cli_entry_point_declared(self):
         text = (ROOT / "pyproject.toml").read_text()
         assert 'regel = "repro.cli:main"' in text
+
+
+class TestLintCli:
+    def test_clean_problem_exits_zero(self, capsys):
+        code = main(["lint", "3 digits", "--pos", "123", "--neg", "12"])
+        assert code == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_conflicting_examples_exit_nonzero(self, capsys):
+        code = main(["lint", "broken", "--pos", "abc", "--neg", "abc"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "conflicting-examples" in captured.out
+        assert "statically unsatisfiable" in captured.err
+
+    def test_json_output_is_machine_readable(self, capsys):
+        code = main(
+            ["lint", "broken", "--pos", "abc", "--neg", "abc", "--json"]
+        )
+        assert code == 1
+        body = json.loads(capsys.readouterr().out)
+        assert body["satisfiable"] is False
+        assert any(
+            diag["code"] == "conflicting-examples" for diag in body["diagnostics"]
+        )
+
+    def test_sketch_diagnostics(self, capsys):
+        code = main(
+            [
+                "lint",
+                "letters",
+                "--pos", "123",
+                "--neg", "abc",
+                "--sketch", "KleeneStar(<let>)",
+            ]
+        )
+        # Sketches are hints, so a conflict is a warning, not an error.
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "warning: sketch-rejects-positive" in captured.out
+        assert "0 error(s)" in captured.err

@@ -355,10 +355,12 @@ class TestHttpService:
         assert report.solved
 
     def test_unsolved_reports_are_not_cached(self, client):
-        # Contradictory examples: deterministically unsolvable, finishes
-        # fast.  An unsolved-within-budget outcome must not poison the
-        # cache (a loaded machine's failure is not a fact about the problem).
-        problem = Problem("3 digits", positive=["xyz"], negative=["xyz"], budget=2.0)
+        # A vanishingly small budget: the engine deterministically runs out
+        # of time before solving.  An unsolved-within-budget outcome must
+        # not poison the cache (a loaded machine's failure is not a fact
+        # about the problem).  Contradictory example sets no longer reach
+        # the engine at all — they are rejected with HTTP 422 up front.
+        problem = Problem("3 digits", positive=["xyz"], negative=["xy"], budget=0.001)
         first = client.solve(problem)
         assert not first.solved
         second = client.solve(problem)
@@ -414,6 +416,69 @@ class TestHttpService:
         assert {"cache", "pool", "requests", "jobs", "uptime_seconds"} <= set(stats)
         assert stats["pool"]["workers"] == 2
         assert stats["cache"]["backend"] == "json"
+
+
+class TestLintEndpoint:
+    UNSAT = Problem(
+        "impossible", positive=["abc", "12"], negative=["abc"], budget=5.0
+    )
+
+    def test_lint_satisfiable_problem(self, client):
+        body = client.lint(FAST_PROBLEM)
+        assert body["schema"] == 1
+        assert body["satisfiable"] is True
+        assert isinstance(body["diagnostics"], list)
+
+    def test_lint_unsatisfiable_problem_is_200(self, client):
+        # Linting an unsatisfiable problem is the endpoint's whole point, so
+        # it answers 200 — only solve/submit turn the verdict into a 422.
+        body = client.lint(self.UNSAT)
+        assert body["satisfiable"] is False
+        codes = {diagnostic["code"] for diagnostic in body["diagnostics"]}
+        assert "conflicting-examples" in codes
+
+    def test_lint_with_sketches(self, client):
+        problem = Problem(
+            "3 digits", positive=["123", "456"], negative=["12"], budget=5.0
+        )
+        body = client.lint(problem, sketches=["Repeat(Hole(<num>),3)"])
+        assert body["satisfiable"] is True
+        for diagnostic in body["diagnostics"]:
+            assert {"code", "severity", "path", "message"} <= set(diagnostic)
+
+    def test_lint_sketch_conflict_is_reported(self, client):
+        # <let>* can never match a digits-only positive example.
+        problem = Problem(
+            "letters", positive=["123"], negative=["abc"], budget=5.0
+        )
+        body = client.lint(problem, sketches=["KleeneStar(<let>)"])
+        codes = {diagnostic["code"] for diagnostic in body["diagnostics"]}
+        assert "sketch-rejects-positive" in codes
+
+    def test_solve_unsatisfiable_is_422(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.solve(self.UNSAT)
+        assert info.value.status == 422
+        assert info.value.code == "unsatisfiable"
+        diagnostics = info.value.payload["diagnostics"]
+        assert diagnostics and diagnostics[0]["code"] == "unsatisfiable"
+        assert diagnostics[0]["severity"] == "error"
+
+    def test_submit_unsatisfiable_is_422(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.submit(self.UNSAT)
+        assert info.value.status == 422
+        assert info.value.code == "unsatisfiable"
+
+    def test_rejected_problem_never_reaches_pool_or_cache(self, client):
+        before = client.stats()
+        with pytest.raises(ServiceError):
+            client.solve(self.UNSAT)
+        after = client.stats()
+        # No job was queued and nothing was written to or read from the
+        # result cache for the rejected problem.
+        assert after["jobs"]["tracked"] == before["jobs"]["tracked"]
+        assert after["cache"]["misses"] == before["cache"]["misses"]
 
 
 class TestBackPressureHttp:

@@ -39,14 +39,14 @@ class TestPartialRegexBasics:
     def test_open_node_not_concrete(self):
         partial = POpen(hole(NUM))
         assert not is_concrete(partial)
-        assert open_nodes(partial) == [partial]
+        assert open_nodes(partial) == (partial,)
         with pytest.raises(ValueError):
             to_regex(partial)
 
     def test_symbolic_partial(self):
         partial = POp("Repeat", (PLeaf(NUM),), (SymInt("k1"),))
         assert is_symbolic(partial)
-        assert symints_of(partial) == [SymInt("k1")]
+        assert symints_of(partial) == (SymInt("k1"),)
         with pytest.raises(ValueError):
             to_regex(partial)
         concretised = substitute_symint(partial, "k1", 3)
