@@ -5,8 +5,10 @@ The one engine benchmark driver (it subsumes the former
 approximation check, symbolic-constant inference (plus a heavier variant with
 three symbolic integers that exercises the solver's propagation and
 incremental re-solving), the full Section-2 motivating-example sketch
-completion, and a ``service_roundtrip`` workload that solves one problem over
-the live HTTP service cold and then from the persistent result cache, all
+completion, a ``service_roundtrip`` workload that solves one problem over
+the live HTTP service cold and then from the persistent result cache, and a
+``corpus_throughput`` workload that bulk-ingests problems generated from the
+committed sample corpus through ``POST /v1/batch`` cold and warm, all
 without requiring pytest-benchmark.  The numbers are written to a JSON report
 (``BENCH_engine.json`` at the repository root by default).
 
@@ -288,6 +290,80 @@ def bench_service_roundtrip(repeats: int) -> dict:
     }
 
 
+#: Sample-corpus patterns the engine cannot solve within the bench budget.
+#: An always-unsolved item would re-run its full budget on the warm pass and
+#: turn the throughput numbers into a measurement of the budget, so the
+#: workload excludes them (and reports how many it excluded).
+_CORPUS_UNSOLVED = {"^(left|right|center)$"}
+
+
+def bench_corpus_throughput(repeats: int, entries: int = 14) -> dict:
+    """Corpus bulk ingestion: generate → ``POST /v1/batch`` cold, then warm.
+
+    Loads the first ``entries`` translatable patterns from the committed
+    sample corpus, generates Problems from them (seeded, so the batch is
+    identical run to run), ingests them through a live server with a fresh
+    cache, then re-ingests the same problems as a second batch.  The warm
+    pass should be dominated by cache hits; ``problems_per_sec_warm`` versus
+    ``problems_per_sec_cold`` is the number to track.  ``repeats`` is
+    ignored beyond the warm pass — a cold solve of the whole batch per
+    repeat would swamp the suite.
+    """
+    import tempfile
+
+    from repro.corpus import GeneratorConfig, generate_problems, load_corpus
+    from repro.service import ServiceClient, ServiceConfig, start_server
+
+    corpus = Path(__file__).parent.parent / "tests/fixtures/corpus/sample_corpus.ndjson"
+    loaded = load_corpus(corpus, limit=entries)
+    generated = generate_problems(
+        loaded.entries, GeneratorConfig(seed=0, budget=15.0)
+    )
+    problems = [
+        problem.to_dict()
+        for problem in generated.problems
+        if problem.description not in _CORPUS_UNSOLVED
+    ]
+    assert problems, "sample corpus produced no problems"
+
+    def ingest(client: ServiceClient) -> tuple[float, dict]:
+        start = time.perf_counter()
+        receipt = client.submit_batch(problems)
+        summary = client.wait_batch(receipt["batch_id"], timeout=300)
+        return time.perf_counter() - start, summary
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(
+            port=0, workers=2, cache_backend="json", cache_path=tmp
+        )
+        server = start_server(config)
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            cold_seconds, cold_summary = ingest(client)
+            warm_seconds, warm_summary = ingest(client)
+        finally:
+            server.close()
+    assert cold_summary["counts"]["failed"] == 0, cold_summary
+    assert warm_summary["counts"]["cached"] >= 1, warm_summary
+    count = len(problems)
+    return {
+        "seconds_min": warm_seconds,
+        "seconds_mean": warm_seconds,
+        "repeats": 1,
+        "problems": count,
+        "corpus_entries": len(loaded.entries),
+        "generator_skips": sum(generated.skipped.values()),
+        "excluded_unsolved": len(generated.problems) - count,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "problems_per_sec_cold": count / cold_seconds,
+        "problems_per_sec_warm": count / warm_seconds,
+        "cold_counts": cold_summary["counts"],
+        "warm_counts": warm_summary["counts"],
+    }
+
+
 def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
     workloads = {
         "approximation_check": bench_approximation_check(repeats),
@@ -296,6 +372,7 @@ def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
         "full_sketch_completion": bench_full_sketch_completion(repeats, None),
         "static_prune": bench_static_prune(repeats),
         "service_roundtrip": bench_service_roundtrip(repeats),
+        "corpus_throughput": bench_corpus_throughput(repeats),
     }
     supports_modes = "evaluator" in inspect.signature(Examples.__init__).parameters
     if supports_modes:

@@ -37,6 +37,13 @@ class Problem:
     budget: float = 20.0
     #: Engine variant (full Regel or one of the Figure-18 ablations).
     variant: EngineVariant = EngineVariant.FULL
+    #: Optional *pinned* sketches in the textual notation.  When non-empty,
+    #: the session runs exactly these instead of asking its sketch provider —
+    #: this is how corpus-generated problems carry their hole-punched
+    #: sketches through the wire, and why the sketches are part of the
+    #: problem (and hence of :meth:`cache_key`): the same examples under
+    #: different sketches are different search problems.
+    sketches: tuple[str, ...] = ()
 
     def __init__(
         self,
@@ -46,6 +53,7 @@ class Problem:
         k: int = 1,
         budget: float = 20.0,
         variant: EngineVariant | str = EngineVariant.FULL,
+        sketches: Iterable[str] = (),
     ):
         object.__setattr__(self, "description", description)
         object.__setattr__(self, "positive", tuple(positive))
@@ -55,15 +63,18 @@ class Problem:
         if isinstance(variant, str):
             variant = EngineVariant(variant)
         object.__setattr__(self, "variant", variant)
+        object.__setattr__(self, "sketches", tuple(sketches))
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if self.budget <= 0:
             raise ValueError(f"budget must be positive, got {self.budget}")
+        if not all(isinstance(sketch, str) for sketch in self.sketches):
+            raise ValueError("sketches must be strings in the textual notation")
 
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "description": self.description,
             "positive": list(self.positive),
             "negative": list(self.negative),
@@ -71,6 +82,11 @@ class Problem:
             "budget": self.budget,
             "variant": self.variant.value,
         }
+        # Emitted only when present: sketch-less problems keep the exact wire
+        # form (and therefore cache_key) they had before this field existed.
+        if self.sketches:
+            data["sketches"] = list(self.sketches)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Problem":
@@ -81,6 +97,7 @@ class Problem:
             k=data.get("k", 1),
             budget=data.get("budget", 20.0),
             variant=data.get("variant", EngineVariant.FULL),
+            sketches=data.get("sketches", ()),
         )
 
     def to_json(self) -> str:

@@ -75,7 +75,14 @@ class Session:
         cancel = cancel or CancelToken()
         config = self.config.for_variant(problem.variant)
         start = time.monotonic()
-        sketches = self.provider.sketches(problem)
+        if problem.sketches:
+            # Problem-pinned sketches (corpus-generated problems ship their
+            # hole-punched sketches inline) take precedence over the provider.
+            from repro.sketch.parser import parse_sketch
+
+            sketches = [parse_sketch(text) for text in problem.sketches]
+        else:
+            sketches = self.provider.sketches(problem)
         events = self.scheduler.run(
             sketches, problem.examples(), config, problem.budget, cancel
         )

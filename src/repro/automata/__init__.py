@@ -27,7 +27,12 @@ from repro.automata.operations import (
     language_nonempty,
 )
 from repro.automata.sampling import (
+    EmptyLanguageError,
+    SamplingError,
+    UniversalLanguageError,
     enumerate_language,
+    language_is_empty,
+    language_is_universal,
     sample_positive,
     sample_negative,
     distinguishing_examples,
@@ -44,7 +49,12 @@ __all__ = [
     "regex_included",
     "difference_witness",
     "language_nonempty",
+    "EmptyLanguageError",
+    "SamplingError",
+    "UniversalLanguageError",
     "enumerate_language",
+    "language_is_empty",
+    "language_is_universal",
     "sample_positive",
     "sample_negative",
     "distinguishing_examples",

@@ -24,6 +24,56 @@ from repro.automata.compiler import CompiledRegex, compile_regex
 from repro.automata.minterms import alphabet_for
 
 
+class SamplingError(ValueError):
+    """A language-level reason example sampling cannot proceed.
+
+    Typed (rather than an empty return or a silent loop to the mutation
+    limit) so corpus-scale callers can count the reason and move on.
+    """
+
+    reason = "sampling-error"
+
+
+class EmptyLanguageError(SamplingError):
+    """The regex matches no string at all — there is nothing to sample."""
+
+    reason = "empty-language"
+
+
+class UniversalLanguageError(SamplingError):
+    """The regex matches *every* string over the DSL alphabet (e.g. ``.*``):
+    no negative example exists, so asking for one is an error."""
+
+    reason = "universal-language"
+
+
+def language_is_empty(regex: ast.Regex, compiled: Optional[CompiledRegex] = None) -> bool:
+    """Exact emptiness over the DSL alphabet, with a cheap static fast path."""
+    from repro.analysis.analyzer import facts_of_regex
+
+    if facts_of_regex(regex).empty:
+        return True
+    return (compiled or compile_regex(regex)).is_empty()
+
+
+def language_is_universal(regex: ast.Regex, extra_chars: str = "") -> bool:
+    """Exact universality over the DSL alphabet (complement emptiness).
+
+    The static analyzer's ``universal`` fact is the fast path; the decision
+    procedure is a complement DFA built over a minterm alphabet refined for
+    the regex (plus ``extra_chars``), which partitions the full printable
+    alphabet — so emptiness of the complement is exact, not approximate.
+    """
+    from repro.analysis.analyzer import facts_of_regex
+
+    facts = facts_of_regex(regex)
+    if facts.universal:
+        return True
+    if facts.empty:
+        return False
+    return compile_regex(ast.Not(regex), extra_chars=extra_chars).is_empty()
+
+
 def enumerate_language(regex: ast.Regex, max_length: int, limit: int = 200) -> List[str]:
     """Enumerate accepted strings in length-lexicographic order (up to ``limit``)."""
     compiled = compile_regex(regex)
@@ -137,12 +187,36 @@ def sample_negative(
     how human annotators typically construct negative examples; if mutations
     do not produce enough rejected strings, samples of the complement language
     are added.
+
+    Degenerate languages fail fast with a typed error instead of burning the
+    whole mutation budget: :class:`UniversalLanguageError` when no negative
+    exists at all (e.g. ``.*``), :class:`EmptyLanguageError` when the language
+    is empty (a "near miss" of nothing is meaningless).  Both are detected up
+    front — statically via :mod:`repro.analysis` facts when provable, exactly
+    via the (complement) DFA otherwise.
     """
     rng = rng or random.Random(1)
+    from repro.analysis.analyzer import facts_of_regex
+
+    facts = facts_of_regex(regex)
+    if facts.universal:
+        raise UniversalLanguageError(
+            f"{regex!r} matches every string; it has no negative examples"
+        )
+    if facts.empty or (positives is None and compile_regex(regex).is_empty()):
+        raise EmptyLanguageError(
+            f"{regex!r} matches no string; near-miss negatives are undefined"
+        )
     positives = list(positives) if positives is not None else sample_positive(regex, 5, rng)
     alphabet_chars = sorted(
         {c for p in positives for c in p} | set("0aA.-_ ")
     )
+    complement = compile_regex(ast.Not(regex), extra_chars="".join(alphabet_chars))
+    if complement.is_empty():
+        raise UniversalLanguageError(
+            f"{regex!r} matches every string over the DSL alphabet; "
+            "it has no negative examples"
+        )
     negatives: set[str] = set()
     attempts = 0
     matcher_cache: dict[str, bool] = {}
@@ -161,14 +235,12 @@ def sample_negative(
         if len(candidate) <= max_length and candidate and rejected(candidate):
             negatives.add(candidate)
 
-    if len(negatives) < count:
-        complement = compile_regex(ast.Not(regex), extra_chars="".join(alphabet_chars))
-        walks = 0
-        while len(negatives) < count and walks < count * 40:
-            walks += 1
-            sample = _random_accepting_walk(complement, rng, max_length)
-            if sample and rejected(sample):
-                negatives.add(sample)
+    walks = 0
+    while len(negatives) < count and walks < count * 40:
+        walks += 1
+        sample = _random_accepting_walk(complement, rng, max_length)
+        if sample and rejected(sample):
+            negatives.add(sample)
     return sorted(negatives, key=lambda s: (len(s), s))[:count]
 
 

@@ -1,0 +1,51 @@
+"""Real-world regex corpus subsystem.
+
+Bridges corpora of regexes developers actually ship (Davis-2019 NDJSON
+format) and the synthesis engine:
+
+* :mod:`repro.corpus.loader` — NDJSON corpus parsing with per-reason skip
+  counters,
+* :mod:`repro.corpus.translate` — PCRE-subset → DSL translation (skips,
+  never mistranslates),
+* :mod:`repro.corpus.generate` — vetted :class:`~repro.api.problem.Problem`
+  generation: sampled positives, near-miss negatives, hole-punched
+  h-sketches, static satisfiability checks.
+
+The output of :func:`generate_problems` is plain Problem NDJSON — the same
+format consumed by ``regel batch``, ``regel corpus ingest`` and the
+service's ``POST /v1/batch``.
+"""
+
+from repro.corpus.loader import (
+    CorpusEntry,
+    LoadResult,
+    load_corpus,
+)
+from repro.corpus.translate import (
+    SkipPattern,
+    charset_to_regex,
+    translate_pattern,
+)
+from repro.corpus.generate import (
+    GenerationResult,
+    GenerationSkip,
+    GeneratorConfig,
+    generate_problems,
+    problem_from_pattern,
+    punch_holes,
+)
+
+__all__ = [
+    "CorpusEntry",
+    "LoadResult",
+    "load_corpus",
+    "SkipPattern",
+    "charset_to_regex",
+    "translate_pattern",
+    "GenerationResult",
+    "GenerationSkip",
+    "GeneratorConfig",
+    "generate_problems",
+    "problem_from_pattern",
+    "punch_holes",
+]

@@ -1,0 +1,153 @@
+"""Loader for real-world regex corpora in the Davis-2019 NDJSON format.
+
+The corpus released with *"Why Aren't Regular Expressions a Lingua Franca?"*
+(Davis et al., FSE 2019) — the standard source of regexes developers actually
+ship — is newline-delimited JSON, one object per regex, with the pattern
+string and per-language use counts.  Field names vary slightly across corpus
+releases, so the loader is liberal in what it accepts:
+
+* the pattern is read from ``pattern`` (falling back to ``regex``/``re``),
+* static/dynamic use counts are summed from any numeric field (or numeric
+  dict of per-language counts) whose name mentions ``static``/``dynamic``,
+  with a plain ``uses``/``count`` field as a last resort.
+
+Entries that cannot be used are **counted, never silently dropped**: both
+:func:`load_corpus` and the downstream generator report per-reason skip
+counters so a corpus run always accounts for every input line.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator, List, Tuple, Union
+
+#: Loader-level skip reasons (the translator adds its own, see
+#: :mod:`repro.corpus.translate`).
+SKIP_MALFORMED_JSON = "malformed-json"
+SKIP_MISSING_PATTERN = "missing-pattern"
+SKIP_MIN_USES = "below-min-uses"
+
+_PATTERN_FIELDS = ("pattern", "regex", "re")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus regex: the pattern plus aggregated usage evidence."""
+
+    pattern: str
+    #: 1-based line number in the source NDJSON file (for error reporting).
+    line: int
+    static_uses: int = 0
+    dynamic_uses: int = 0
+
+    @property
+    def total_uses(self) -> int:
+        return self.static_uses + self.dynamic_uses
+
+
+@dataclass
+class LoadResult:
+    """Entries that loaded plus per-reason counts for everything that didn't."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+    skipped: Counter = field(default_factory=Counter)
+
+    @property
+    def total_lines(self) -> int:
+        return len(self.entries) + sum(self.skipped.values())
+
+
+def _sum_numeric(value: object) -> Tuple[int, bool]:
+    """Sum a numeric field or a dict of per-language numeric counts."""
+    if isinstance(value, bool):
+        return 0, False
+    if isinstance(value, (int, float)):
+        return int(value), True
+    if isinstance(value, dict):
+        total = 0
+        found = False
+        for inner in value.values():
+            amount, ok = _sum_numeric(inner)
+            total += amount
+            found = found or ok
+        return total, found
+    return 0, False
+
+
+def _use_counts(record: dict) -> Tuple[int, int]:
+    static = dynamic = 0
+    matched = False
+    for key, value in record.items():
+        name = key.lower()
+        amount, ok = _sum_numeric(value)
+        if not ok:
+            continue
+        if "static" in name:
+            static += amount
+            matched = True
+        elif "dynamic" in name:
+            dynamic += amount
+            matched = True
+    if not matched:
+        for key in ("uses", "count", "useCount", "use_count"):
+            amount, ok = _sum_numeric(record.get(key))
+            if ok:
+                static = amount
+                break
+    return static, dynamic
+
+
+def iter_corpus_lines(source: Union[str, Path, IO[str]]) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, raw_line)`` for non-blank lines of an NDJSON source."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from iter_corpus_lines(handle)
+        return
+    for number, raw in enumerate(source, start=1):
+        if raw.strip():
+            yield number, raw
+
+
+def load_corpus(
+    source: Union[str, Path, IO[str]],
+    min_uses: int = 0,
+    limit: int = 0,
+) -> LoadResult:
+    """Load an NDJSON corpus, skipping (and counting) unusable lines.
+
+    ``min_uses`` filters out rarely-used regexes (total static + dynamic
+    uses below the threshold); ``limit`` caps the number of *loaded* entries
+    (0 = unlimited) — skipped lines do not consume the limit.
+    """
+    result = LoadResult()
+    for number, raw in iter_corpus_lines(source):
+        if limit and len(result.entries) >= limit:
+            break
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            result.skipped[SKIP_MALFORMED_JSON] += 1
+            continue
+        if not isinstance(record, dict):
+            result.skipped[SKIP_MALFORMED_JSON] += 1
+            continue
+        pattern = next(
+            (record[key] for key in _PATTERN_FIELDS if isinstance(record.get(key), str)),
+            None,
+        )
+        if not pattern:
+            result.skipped[SKIP_MISSING_PATTERN] += 1
+            continue
+        static, dynamic = _use_counts(record)
+        if static + dynamic < min_uses:
+            result.skipped[SKIP_MIN_USES] += 1
+            continue
+        result.entries.append(
+            CorpusEntry(
+                pattern=pattern, line=number, static_uses=static, dynamic_uses=dynamic
+            )
+        )
+    return result

@@ -1,0 +1,549 @@
+"""Translation of real-world (PCRE-style) regex patterns into the repro DSL.
+
+Corpus regexes are written in the syntax developers actually ship —
+``^[a-z0-9_]{3,16}$``, ``\\d+(\\.\\d+)?`` — while the synthesis engine works
+over the paper's DSL (Figure 5).  :func:`translate_pattern` parses a practical
+subset of that syntax and produces a semantically equivalent DSL regex *over
+the printable-ASCII alphabet* the DSL is interpreted on.
+
+Anchoring follows ``re.search`` semantics, which is how the overwhelming
+majority of corpus regexes are used: an unanchored pattern becomes
+``Contains(body)``, ``^pat`` becomes ``StartsWith(body)``, ``pat$`` becomes
+``EndsWith(body)`` and ``^pat$`` matches exactly the body's language.
+
+Patterns using constructs the DSL cannot express — lookaround,
+backreferences, word boundaries, mid-pattern anchors — and patterns escaping
+the DSL alphabet are **skipped, never mistranslated**: the translator raises
+:class:`SkipPattern` carrying a stable machine-readable ``reason`` code that
+the corpus loader and generator aggregate into per-reason counters.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Optional, Tuple
+
+from repro.dsl import ast
+from repro.dsl.charclass import PRINTABLE_ALPHABET, CharClassKind, chars_of
+
+# ---------------------------------------------------------------------------
+# Skip reasons
+# ---------------------------------------------------------------------------
+
+#: Stable reason codes, aggregated by the loader/generator into counters.
+SKIP_PARSE_ERROR = "parse-error"
+SKIP_LOOKAROUND = "lookaround"
+SKIP_BACKREFERENCE = "backreference"
+SKIP_INNER_ANCHOR = "inner-anchor"
+SKIP_WORD_BOUNDARY = "word-boundary"
+SKIP_INLINE_FLAGS = "inline-flags"
+SKIP_UNSUPPORTED_ESCAPE = "unsupported-escape"
+SKIP_ALPHABET_ESCAPE = "alphabet-escape"
+SKIP_CLASS_TOO_LARGE = "class-too-large"
+SKIP_POSSESSIVE = "possessive-quantifier"
+SKIP_TOO_LARGE = "too-large"
+SKIP_EMPTY_PATTERN = "empty-pattern"
+
+
+class SkipPattern(ValueError):
+    """A pattern the translator deliberately refuses, with a typed reason."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+        self.detail = detail
+
+
+_ALPHABET = frozenset(PRINTABLE_ALPHABET)
+
+#: Maximum ``Or`` alternatives a character class may expand into (predefined
+#: classes count as one alternative each).
+MAX_CLASS_PARTS = 12
+
+#: Maximum repetition count accepted in ``{n,m}`` quantifiers — the automata
+#: layer unrolls repeats, so huge counts would explode the DFA.
+MAX_REPEAT = 64
+
+#: Maximum DSL nodes in the translated regex.
+MAX_NODES = 400
+
+#: Predefined classes tried (largest first) when covering a character set.
+#: ``ANY`` is checked separately; ``VOW``/``SPEC`` are never guessed — a class
+#: that happens to equal them is almost never *meant* as "vowels".
+_COVER_ORDER = (
+    CharClassKind.ALPHANUM,
+    CharClassKind.LET,
+    CharClassKind.HEX,
+    CharClassKind.NUM,
+    CharClassKind.CAP,
+    CharClassKind.LOW,
+)
+
+_DIGITS = frozenset(string.digits)
+_WORD = frozenset(string.digits + string.ascii_letters + "_")
+#: ``\s`` intersected with the DSL alphabet (strings over printable ASCII
+#: cannot contain ``\n``/``\r``/``\f``/``\v`` anyway).
+_SPACE = frozenset(" \t")
+
+_POSIX_CLASSES = {
+    "alpha": frozenset(string.ascii_letters),
+    "digit": _DIGITS,
+    "alnum": frozenset(string.digits + string.ascii_letters),
+    "upper": frozenset(string.ascii_uppercase),
+    "lower": frozenset(string.ascii_lowercase),
+    "xdigit": frozenset(string.hexdigits),
+    "space": _SPACE,
+    "word": _WORD,
+    "punct": frozenset(c for c in PRINTABLE_ALPHABET if not c.isalnum() and c not in " \t"),
+}
+
+
+def charset_to_regex(chars: frozenset[str]) -> ast.Regex:
+    """A DSL regex matching exactly one character from ``chars``.
+
+    Covers the set greedily with predefined classes, then literals; raises
+    :class:`SkipPattern` when the expansion would exceed :data:`MAX_CLASS_PARTS`.
+    """
+    if not chars:
+        raise SkipPattern(SKIP_ALPHABET_ESCAPE, "character class is empty over the DSL alphabet")
+    if chars == _ALPHABET:
+        return ast.ANY
+    parts: List[ast.Regex] = []
+    remaining = set(chars)
+    for kind in _COVER_ORDER:
+        kind_chars = chars_of(kind)
+        if kind_chars <= remaining:
+            parts.append(ast.CharClass(kind))
+            remaining -= kind_chars
+    parts.extend(ast.literal(c) for c in sorted(remaining))
+    if len(parts) > MAX_CLASS_PARTS:
+        raise SkipPattern(
+            SKIP_CLASS_TOO_LARGE,
+            f"{len(parts)} alternatives (cap {MAX_CLASS_PARTS})",
+        )
+    return ast.or_all(parts)
+
+
+class _PatternParser:
+    """Recursive-descent parser for the supported PCRE subset."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- primitives ----------------------------------------------------------
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return "" if self.eof() else self.text[self.pos]
+
+    def take(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def error(self, detail: str) -> SkipPattern:
+        return SkipPattern(SKIP_PARSE_ERROR, f"{detail} at position {self.pos}")
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> ast.Regex:
+        regex = self.parse_alternation()
+        if not self.eof():
+            raise self.error(f"unexpected {self.peek()!r}")
+        return regex
+
+    def parse_alternation(self) -> ast.Regex:
+        branches = [self.parse_sequence()]
+        while self.peek() == "|":
+            self.take()
+            branches.append(self.parse_sequence())
+        return ast.or_all(branches)
+
+    def parse_sequence(self) -> ast.Regex:
+        parts: List[ast.Regex] = []
+        while not self.eof() and self.peek() not in "|)":
+            parts.append(self.parse_term())
+        return ast.concat_all(parts) if parts else ast.Epsilon()
+
+    def parse_term(self) -> ast.Regex:
+        atom = self.parse_atom()
+        return self.parse_quantifier(atom)
+
+    def parse_quantifier(self, atom: ast.Regex) -> ast.Regex:
+        char = self.peek()
+        if char == "*":
+            self.take()
+            result: ast.Regex = ast.KleeneStar(atom)
+        elif char == "+":
+            self.take()
+            result = ast.RepeatAtLeast(atom, 1)
+        elif char == "?":
+            self.take()
+            result = ast.Optional(atom)
+        elif char == "{":
+            result = self.parse_counted(atom)
+            if result is None:  # `{` was a literal brace, already consumed
+                return self.parse_quantifier_literal_brace(atom)
+        else:
+            return atom
+        # Lazy quantifiers match the same *language*; possessive ones do not.
+        if self.peek() == "?":
+            self.take()
+        elif self.peek() == "+":
+            raise SkipPattern(SKIP_POSSESSIVE, self.text)
+        return result
+
+    def parse_counted(self, atom: ast.Regex) -> Optional[ast.Regex]:
+        """``{n}``/``{n,}``/``{n,m}``; returns None for a literal ``{``."""
+        start = self.pos
+        self.take()  # '{'
+        digits_low = self._digits()
+        if self.peek() == "}" and digits_low:
+            self.take()
+            return self._repeat(atom, int(digits_low), int(digits_low))
+        if self.peek() == "," and digits_low is not None and digits_low != "":
+            self.take()
+            digits_high = self._digits()
+            if self.peek() == "}":
+                self.take()
+                if digits_high:
+                    return self._repeat(atom, int(digits_low), int(digits_high))
+                return self._repeat(atom, int(digits_low), None)
+        # Not a quantifier after all (e.g. ``a{`` or ``x{,3}``): PCRE treats
+        # the brace as a literal.  Rewind and let the caller handle it.
+        self.pos = start
+        return None
+
+    def parse_quantifier_literal_brace(self, atom: ast.Regex) -> ast.Regex:
+        # The '{' at self.pos is literal; atom stays as parsed and the brace
+        # will be consumed as an ordinary character by the next parse_term.
+        return atom
+
+    def _digits(self) -> str:
+        start = self.pos
+        while not self.eof() and self.text[self.pos].isdigit():
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def _repeat(self, atom: ast.Regex, low: int, high: Optional[int]) -> ast.Regex:
+        bound = high if high is not None else low
+        if bound > MAX_REPEAT or low > MAX_REPEAT:
+            raise SkipPattern(SKIP_TOO_LARGE, f"repeat count {low},{high} (cap {MAX_REPEAT})")
+        if high is not None and low > high:
+            raise self.error(f"bad repeat range {{{low},{high}}}")
+        if high is None:  # {n,}
+            return ast.KleeneStar(atom) if low == 0 else ast.RepeatAtLeast(atom, low)
+        if high == 0:  # {0} / {0,0}
+            return ast.Epsilon()
+        if low == 0:  # {0,m}
+            return ast.Optional(self._range(atom, 1, high))
+        return self._range(atom, low, high)
+
+    @staticmethod
+    def _range(atom: ast.Regex, low: int, high: int) -> ast.Regex:
+        return ast.Repeat(atom, low) if low == high else ast.RepeatRange(atom, low, high)
+
+    # -- atoms ---------------------------------------------------------------
+
+    def parse_atom(self) -> ast.Regex:
+        char = self.peek()
+        if char == "(":
+            return self.parse_group()
+        if char == "[":
+            return charset_to_regex(self.parse_class())
+        if char == ".":
+            self.take()
+            return ast.ANY
+        if char == "\\":
+            return self.parse_escape()
+        if char in "^$":
+            raise SkipPattern(SKIP_INNER_ANCHOR, self.text)
+        if char in "*+?":
+            raise self.error(f"dangling quantifier {char!r}")
+        self.take()
+        return self._literal(char)
+
+    def _literal(self, char: str) -> ast.Regex:
+        if char not in _ALPHABET:
+            raise SkipPattern(SKIP_ALPHABET_ESCAPE, repr(char))
+        return ast.literal(char)
+
+    def parse_group(self) -> ast.Regex:
+        self.take()  # '('
+        if self.peek() == "?":
+            self.take()
+            char = self.peek()
+            if char in "=!":
+                raise SkipPattern(SKIP_LOOKAROUND, self.text)
+            if char == "<":
+                follow = self.text[self.pos + 1 : self.pos + 2]
+                if follow in ("=", "!"):
+                    raise SkipPattern(SKIP_LOOKAROUND, self.text)
+                self._skip_group_name(">")  # (?<name>...) — named group
+            elif char == "P":
+                self.take()
+                if self.peek() == "=":
+                    raise SkipPattern(SKIP_BACKREFERENCE, self.text)
+                self._skip_group_name(">")  # (?P<name>...)
+            elif char == ":":
+                self.take()  # (?:...) — non-capturing
+            elif char == ">":
+                raise SkipPattern(SKIP_POSSESSIVE, "atomic group")
+            else:
+                raise SkipPattern(SKIP_INLINE_FLAGS, self.text)
+        body = self.parse_alternation()
+        if self.peek() != ")":
+            raise self.error("unbalanced parenthesis")
+        self.take()
+        return body
+
+    def _skip_group_name(self, closing: str) -> None:
+        if self.peek() == "<":
+            self.take()
+        while not self.eof() and self.peek() != closing:
+            self.take()
+        if self.eof():
+            raise self.error("unterminated group name")
+        self.take()
+
+    # -- escapes -------------------------------------------------------------
+
+    def parse_escape(self) -> ast.Regex:
+        chars = self.escape_charset(in_class=False)
+        return charset_to_regex(chars)
+
+    def escape_charset(self, in_class: bool) -> frozenset[str]:
+        """The character set denoted by one ``\\x`` escape sequence."""
+        self.take()  # '\'
+        if self.eof():
+            raise self.error("trailing backslash")
+        char = self.take()
+        if char == "d":
+            return _DIGITS
+        if char == "D":
+            return _ALPHABET - _DIGITS
+        if char == "w":
+            return _WORD
+        if char == "W":
+            return _ALPHABET - _WORD
+        if char == "s":
+            return _SPACE
+        if char == "S":
+            return _ALPHABET - _SPACE
+        if char == "t":
+            return frozenset("\t")
+        if char in "nrfv0":
+            raise SkipPattern(SKIP_ALPHABET_ESCAPE, f"\\{char}")
+        if char in "bB":
+            if in_class and char == "b":  # [\b] is backspace
+                raise SkipPattern(SKIP_ALPHABET_ESCAPE, "[\\b]")
+            raise SkipPattern(SKIP_WORD_BOUNDARY, f"\\{char}")
+        if char in "AZzG":
+            raise SkipPattern(SKIP_INNER_ANCHOR, f"\\{char}")
+        if char.isdigit():
+            raise SkipPattern(SKIP_BACKREFERENCE, f"\\{char}")
+        if char == "k":
+            raise SkipPattern(SKIP_BACKREFERENCE, "\\k")
+        if char == "x":
+            return frozenset(self._hex_escape())
+        if char in "upPQEC":
+            raise SkipPattern(SKIP_UNSUPPORTED_ESCAPE, f"\\{char}")
+        if char.isalnum():
+            raise SkipPattern(SKIP_UNSUPPORTED_ESCAPE, f"\\{char}")
+        # Escaped punctuation: a literal.
+        if char not in _ALPHABET:
+            raise SkipPattern(SKIP_ALPHABET_ESCAPE, repr(char))
+        return frozenset(char)
+
+    def _hex_escape(self) -> str:
+        if self.peek() == "{":
+            raise SkipPattern(SKIP_UNSUPPORTED_ESCAPE, "\\x{...}")
+        digits = self.text[self.pos : self.pos + 2]
+        if len(digits) != 2 or any(c not in string.hexdigits for c in digits):
+            raise self.error("bad \\xNN escape")
+        self.pos += 2
+        char = chr(int(digits, 16))
+        if char not in _ALPHABET:
+            raise SkipPattern(SKIP_ALPHABET_ESCAPE, f"\\x{digits}")
+        return char
+
+    # -- character classes ---------------------------------------------------
+
+    def parse_class(self) -> frozenset[str]:
+        self.take()  # '['
+        negated = False
+        if self.peek() == "^":
+            negated = True
+            self.take()
+        chars: set[str] = set()
+        dropped_outside = False
+        first = True
+        while True:
+            if self.eof():
+                raise self.error("unterminated character class")
+            char = self.peek()
+            if char == "]" and not first:
+                self.take()
+                break
+            first = False
+            if char == "[" and self.text[self.pos : self.pos + 2] == "[:":
+                chars |= self._posix_class()
+                continue
+            low, is_set = self._class_atom()
+            if is_set is not None:
+                chars |= is_set
+                continue
+            if low is None:
+                dropped_outside = True
+                low = "\0"  # placeholder for range bookkeeping
+            if self.peek() == "-" and self.text[self.pos + 1 : self.pos + 2] not in ("", "]"):
+                self.take()
+                high, high_set = self._class_atom()
+                if high_set is not None:
+                    raise self.error("character range with a class endpoint")
+                if high is None:
+                    dropped_outside = True
+                    continue
+                if low == "\0":
+                    dropped_outside = True
+                    continue
+                if ord(low) > ord(high):
+                    raise self.error(f"reversed range {low}-{high}")
+                span = {chr(code) for code in range(ord(low), ord(high) + 1)}
+                dropped_outside |= bool(span - _ALPHABET)
+                chars |= span & _ALPHABET
+            elif low != "\0":
+                chars.add(low)
+        if negated:
+            # Complement over the DSL alphabet.  Dropped out-of-alphabet
+            # members only *shrink* the removed set, which is exactly right:
+            # those characters cannot occur in DSL strings anyway.
+            result = _ALPHABET - chars
+        else:
+            result = frozenset(chars)
+            if not result and dropped_outside:
+                raise SkipPattern(
+                    SKIP_ALPHABET_ESCAPE, "class is empty over the DSL alphabet"
+                )
+        if not result:
+            raise self.error("empty character class")
+        return frozenset(result)
+
+    def _class_atom(self) -> Tuple[Optional[str], Optional[frozenset[str]]]:
+        """One class member: ``(char, None)``, ``(None, None)`` if dropped
+        (outside the alphabet), or ``(None, set)`` for an escape class."""
+        if self.peek() == "\\":
+            saved = self.pos
+            charset = self.escape_charset(in_class=True)
+            if len(charset) == 1:
+                (char,) = charset
+                # An escaped literal can serve as a range endpoint.
+                if self.text[saved + 1] not in "dDwWsS":
+                    return char, None
+            return None, charset
+        char = self.take()
+        if char not in _ALPHABET:
+            return None, None
+        return char, None
+
+    def _posix_class(self) -> frozenset[str]:
+        end = self.text.find(":]", self.pos)
+        if end == -1:
+            raise self.error("unterminated POSIX class")
+        name = self.text[self.pos + 2 : end]
+        self.pos = end + 2
+        if name not in _POSIX_CLASSES:
+            raise SkipPattern(SKIP_UNSUPPORTED_ESCAPE, f"[:{name}:]")
+        return _POSIX_CLASSES[name]
+
+
+def _has_top_level_alternation(pattern: str) -> bool:
+    """True when the pattern has an unparenthesised ``|`` at nesting depth 0."""
+    depth = 0
+    in_class = False
+    index = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if char == "\\":
+            index += 2
+            continue
+        if in_class:
+            if char == "]":
+                in_class = False
+        elif char == "[":
+            in_class = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        elif char == "|" and depth == 0:
+            return True
+        index += 1
+    return False
+
+
+def _strip_anchors(pattern: str) -> Tuple[str, bool, bool]:
+    """Strip whole-pattern anchors; returns (body, anchored_start, anchored_end).
+
+    With a top-level alternation an edge anchor binds only to its own branch
+    (``^a|b$`` is *not* ``^(a|b)$``), so such patterns are skipped rather than
+    mistranslated.
+    """
+    anchored_start = anchored_end = False
+    edge_anchored = (
+        pattern.startswith(("^", "\\A"))
+        or pattern.endswith(("$", "\\z", "\\Z"))
+    )
+    if edge_anchored and _has_top_level_alternation(pattern):
+        raise SkipPattern(SKIP_INNER_ANCHOR, "anchored branch of a top-level alternation")
+    if pattern.startswith("^"):
+        anchored_start = True
+        pattern = pattern[1:]
+    elif pattern.startswith("\\A"):
+        anchored_start = True
+        pattern = pattern[2:]
+    for suffix in ("$", "\\z", "\\Z"):
+        if pattern.endswith(suffix):
+            backslashes = 0
+            index = len(pattern) - len(suffix) - 1
+            while index >= 0 and pattern[index] == "\\":
+                backslashes += 1
+                index -= 1
+            if suffix == "$" and backslashes % 2 == 1:
+                continue  # escaped \$: a literal dollar
+            if suffix != "$" and backslashes % 2 == 1:
+                continue  # the backslash belongs to an earlier escape
+            anchored_end = True
+            pattern = pattern[: len(pattern) - len(suffix)]
+            break
+    return pattern, anchored_start, anchored_end
+
+
+def node_count(regex: ast.Regex) -> int:
+    return sum(1 for _ in regex.walk())
+
+
+def translate_pattern(pattern: str) -> ast.Regex:
+    """Translate one real-world pattern into the DSL (``re.search`` semantics).
+
+    Raises :class:`SkipPattern` with a stable ``reason`` code for every
+    construct the DSL cannot express; never silently mistranslates.
+    """
+    if not pattern:
+        raise SkipPattern(SKIP_EMPTY_PATTERN, "empty pattern")
+    body_text, anchored_start, anchored_end = _strip_anchors(pattern)
+    body = _PatternParser(body_text).parse()
+    if anchored_start and anchored_end:
+        result = body
+    elif anchored_start:
+        result = ast.StartsWith(body)
+    elif anchored_end:
+        result = ast.EndsWith(body)
+    else:
+        result = ast.Contains(body)
+    if node_count(result) > MAX_NODES:
+        raise SkipPattern(SKIP_TOO_LARGE, f"{node_count(result)} DSL nodes (cap {MAX_NODES})")
+    return result

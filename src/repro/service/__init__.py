@@ -19,6 +19,11 @@ Layers (see ``docs/architecture.md``):
 * :mod:`repro.service.client` — a urllib client (``regel client``).
 """
 
+from repro.service.batch import (
+    ITEM_STATUSES,
+    BatchRecord,
+    BatchStore,
+)
 from repro.service.cache import (
     CACHE_BACKENDS,
     JsonDirCache,
@@ -34,6 +39,9 @@ from repro.service.server import RegelHTTPServer, serve, start_server
 from repro.service.wire import WIRE_SCHEMA, WireError
 
 __all__ = [
+    "ITEM_STATUSES",
+    "BatchRecord",
+    "BatchStore",
     "CACHE_BACKENDS",
     "JsonDirCache",
     "NullCache",

@@ -1,0 +1,226 @@
+"""Persistent batch records for bulk ingestion.
+
+A *batch* is an ordered sequence of Problems identified by their position in
+the submitted NDJSON stream.  The :class:`BatchRecord` tracks one status per
+item — ``queued → solved | unsolved | failed``, or ``cached`` when the
+result cache short-circuits the solve entirely — and persists itself as a
+JSON file after every transition, so ingestion survives both client and
+server restarts:
+
+* a client killed mid-upload re-POSTs the same NDJSON against the same batch
+  id; every index the record already knows is skipped (``resume``),
+* a server killed mid-batch reloads records lazily from disk; items stranded
+  in ``queued`` (their jobs died with the process) are re-ingested on the
+  next POST instead of being skipped, because no live job backs them.
+
+The same record format backs the ``regel batch --record`` CLI path, so a
+local run and a service run of one corpus file produce interchangeable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Per-item lifecycle states.
+ITEM_QUEUED = "queued"
+ITEM_SOLVED = "solved"
+ITEM_UNSOLVED = "unsolved"
+ITEM_FAILED = "failed"
+ITEM_CACHED = "cached"
+
+ITEM_STATUSES = (ITEM_QUEUED, ITEM_SOLVED, ITEM_UNSOLVED, ITEM_FAILED, ITEM_CACHED)
+
+#: Terminal item states (everything but ``queued``).
+TERMINAL_ITEM_STATUSES = frozenset(ITEM_STATUSES) - {ITEM_QUEUED}
+
+
+def _atomic_write(path: Path, payload: Dict[str, Any]) -> None:
+    """Write-then-rename so a crash never leaves a half-written record."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=0, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class BatchRecord:
+    """One batch's per-item statuses, with JSON-file persistence."""
+
+    def __init__(self, batch_id: Optional[str] = None, path: Optional[Path] = None):
+        self.batch_id = batch_id or uuid.uuid4().hex
+        self.path = path
+        self.created = time.time()
+        self.updated = self.created
+        #: ``{"index", "status", "cache_key", "regex"?, "error"?}`` per item,
+        #: list position == item index.
+        self.items: List[Dict[str, Any]] = []
+        #: Indexes backed by a live job *in this process* — deliberately not
+        #: persisted: after a restart nothing is live, which is exactly what
+        #: makes stranded ``queued`` items eligible for re-ingestion.
+        self.live: set[int] = set()
+        self._lock = threading.RLock()
+
+    # -- mutation ------------------------------------------------------------
+
+    def append_item(self, status: str, cache_key: str = "", **extra: Any) -> int:
+        """Add the next item; returns its index."""
+        with self._lock:
+            index = len(self.items)
+            item = {"index": index, "status": status, "cache_key": cache_key}
+            item.update({k: v for k, v in extra.items() if v is not None})
+            self.items.append(item)
+            self.updated = time.time()
+            return index
+
+    def update_item(self, index: int, status: str, **extra: Any) -> None:
+        with self._lock:
+            item = self.items[index]
+            item["status"] = status
+            item.update({k: v for k, v in extra.items() if v is not None})
+            if status in TERMINAL_ITEM_STATUSES:
+                self.live.discard(index)
+            self.updated = time.time()
+
+    def mark_live(self, index: int) -> None:
+        with self._lock:
+            self.live.add(index)
+
+    def release(self, index: int) -> None:
+        """Drop the live-job claim on a still-``queued`` item (cancelled job):
+        the next resume POST re-ingests it instead of skipping it."""
+        with self._lock:
+            self.live.discard(index)
+
+    def status_of(self, index: int) -> str:
+        with self._lock:
+            return self.items[index]["status"]
+
+    def needs_reingest(self, index: int) -> bool:
+        """Queued but with no live job in this process (e.g. after restart)."""
+        with self._lock:
+            return (
+                index < len(self.items)
+                and self.items[index]["status"] == ITEM_QUEUED
+                and index not in self.live
+            )
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.items)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out = {status: 0 for status in ITEM_STATUSES}
+            for item in self.items:
+                out[item["status"]] = out.get(item["status"], 0) + 1
+            return out
+
+    @property
+    def done(self) -> bool:
+        """Every item reached a terminal state."""
+        with self._lock:
+            return all(
+                item["status"] in TERMINAL_ITEM_STATUSES for item in self.items
+            )
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "batch_id": self.batch_id,
+                "total": len(self.items),
+                "done": self.done,
+                "counts": self.counts(),
+                "created": self.created,
+                "updated": self.updated,
+            }
+
+    def page(self, offset: int = 0, limit: int = 100) -> Dict[str, Any]:
+        """Summary plus an item slice (offset pagination for ``GET``)."""
+        with self._lock:
+            payload = self.summary()
+            payload["offset"] = offset
+            payload["limit"] = limit
+            payload["items"] = [dict(item) for item in self.items[offset : offset + limit]]
+            return payload
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "batch_id": self.batch_id,
+                "created": self.created,
+                "updated": self.updated,
+                "items": [dict(item) for item in self.items],
+            }
+
+    def save(self, path: Optional[Path] = None) -> None:
+        target = path or self.path
+        if target is None:
+            return
+        with self._lock:
+            payload = self.to_dict()
+        _atomic_write(Path(target), payload)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "BatchRecord":
+        path = Path(path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        record = cls(batch_id=data["batch_id"], path=path)
+        record.created = data.get("created", record.created)
+        record.updated = data.get("updated", record.updated)
+        record.items = [dict(item) for item in data.get("items", [])]
+        return record
+
+
+class BatchStore:
+    """Registry of batch records persisted under one directory.
+
+    In-memory records are authoritative while the process lives; unknown ids
+    are faulted in from ``<dir>/<batch_id>.json`` so a restarted server still
+    answers ``GET /v1/batch/{id}`` for every batch it ever accepted.
+    """
+
+    def __init__(self, directory: "Path | str"):
+        self.directory = Path(directory)
+        self._records: Dict[str, BatchRecord] = {}
+        self._lock = threading.Lock()
+
+    def _path_for(self, batch_id: str) -> Path:
+        return self.directory / f"{batch_id}.json"
+
+    def create(self) -> BatchRecord:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = BatchRecord()
+        record.path = self._path_for(record.batch_id)
+        with self._lock:
+            self._records[record.batch_id] = record
+        record.save()
+        return record
+
+    def get(self, batch_id: str) -> Optional[BatchRecord]:
+        with self._lock:
+            record = self._records.get(batch_id)
+        if record is not None:
+            return record
+        path = self._path_for(batch_id)
+        if not path.is_file():
+            return None
+        try:
+            record = BatchRecord.load(path)
+        except (ValueError, OSError, KeyError):
+            return None
+        with self._lock:
+            # Lost the race to another loader: keep the first one.
+            return self._records.setdefault(batch_id, record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -51,11 +51,20 @@ class ServiceClient:
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        return self._request_raw(method, path, body, "application/json")
+
+    def _request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        content_type: str = "application/json",
+    ) -> Dict[str, Any]:
         request = urllib.request.Request(
             self.base_url + path,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": content_type},
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -106,6 +115,60 @@ class ServiceClient:
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")
+
+    # -- batch ingestion -----------------------------------------------------
+
+    def submit_batch(
+        self,
+        lines: "list[str | Dict[str, Any]]",
+        batch_id: Optional[str] = None,
+        offset: int = 0,
+    ) -> Dict[str, Any]:
+        """``POST /v1/batch``: NDJSON bulk submission (one Problem per line).
+
+        ``lines`` entries may be raw JSON strings or Problem dicts.  Pass the
+        ``batch_id`` and ``offset`` of an earlier submission to resume it —
+        items the server already ingested are skipped, not re-solved.
+        """
+        rendered = [
+            line if isinstance(line, str) else json.dumps(line) for line in lines
+        ]
+        path = "/v1/batch"
+        query = []
+        if batch_id is not None:
+            query.append(f"batch={batch_id}")
+        if offset:
+            query.append(f"offset={offset}")
+        if query:
+            path += "?" + "&".join(query)
+        body = ("\n".join(rendered) + "\n").encode("utf-8")
+        return self._request_raw("POST", path, body, "application/x-ndjson")
+
+    def batch_status(
+        self, batch_id: str, offset: int = 0, limit: int = 100
+    ) -> Dict[str, Any]:
+        """``GET /v1/batch/{id}``: summary + a page of per-item statuses."""
+        return self._request(
+            "GET", f"/v1/batch/{batch_id}?offset={offset}&limit={limit}"
+        )
+
+    def wait_batch(
+        self,
+        batch_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll until every item of the batch is terminal; returns the summary."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            summary = self.batch_status(batch_id, limit=1)
+            if summary.get("done"):
+                return summary
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    504, "client_timeout", f"batch {batch_id} did not finish in time"
+                )
+            time.sleep(poll_interval)
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/v1/jobs/{job_id}")

@@ -25,16 +25,27 @@ diagnostics, always 200, nothing queued.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 from repro.analysis.diagnostics import lint_problem, problem_unsatisfiable
+from repro.api.problem import Problem
 from repro.api.providers import NlSketchProvider
 from repro.api.schedulers import SCHEDULERS, make_scheduler
 from repro.api.session import Session
+from repro.service.batch import (
+    ITEM_CACHED,
+    ITEM_FAILED,
+    ITEM_QUEUED,
+    ITEM_SOLVED,
+    ITEM_UNSOLVED,
+    BatchRecord,
+    BatchStore,
+)
 from repro.service.cache import ResultCache, make_cache
 from repro.service.pool import Job, PoolSaturated, WorkerPool
 from repro.service.wire import (
@@ -46,6 +57,7 @@ from repro.service.wire import (
     job_body,
     parse_lint_sketches,
     parse_problem,
+    problem_from_data,
 )
 
 Response = Tuple[int, Dict[str, Any]]
@@ -79,6 +91,9 @@ class ServiceConfig:
     max_tracked_jobs: int = 256
     #: Print one line per request (off in tests/benchmarks).
     log_requests: bool = field(default=False)
+    #: Directory for persistent batch records; None derives a sibling of the
+    #: cache path, so one ``--cache-path`` flag relocates both artifacts.
+    batch_dir: Optional[str] = None
 
     def resolved_cache_path(self) -> str:
         if self.cache_path is not None:
@@ -88,6 +103,11 @@ class ServiceConfig:
             if self.cache_backend == "sqlite"
             else ".regel-cache"
         )
+
+    def resolved_batch_dir(self) -> str:
+        if self.batch_dir is not None:
+            return self.batch_dir
+        return self.resolved_cache_path() + ".batches"
 
 
 class ServiceState:
@@ -119,6 +139,15 @@ class ServiceState:
         self._counters_lock = threading.Lock()
         self.requests: Dict[str, int] = {}
         self.started = time.time()
+        self.batches = BatchStore(config.resolved_batch_dir())
+        #: Batch items awaiting pool capacity: ``(record, index, problem, key)``.
+        #: The feeder thread drains this with retry, so a 1000-item batch
+        #: never sees the pool's 429 back-pressure — the backlog *is* the
+        #: back-pressure, and it answers instantly with ``queued`` statuses.
+        self._batch_backlog: Deque[Tuple[BatchRecord, int, Problem, str]] = deque()
+        self._batch_cond = threading.Condition()
+        self._batch_feeder_thread: Optional[threading.Thread] = None
+        self._closing = False
 
     def _make_session(self) -> Session:
         # One session per worker thread: the NL provider holds the trained
@@ -326,6 +355,194 @@ class ServiceState:
             job.request_cancel()
         return 202, job_body(job)
 
+    # -- batch ingestion -----------------------------------------------------
+
+    def _ensure_feeder(self) -> None:
+        with self._batch_cond:
+            if self._batch_feeder_thread is None or not self._batch_feeder_thread.is_alive():
+                self._batch_feeder_thread = threading.Thread(
+                    target=self._batch_feeder, name="regel-batch-feeder", daemon=True
+                )
+                self._batch_feeder_thread.start()
+
+    def _batch_feeder(self) -> None:
+        """Drain the batch backlog into the bounded pool, retrying saturation.
+
+        Interactive requests and batch items share the same pool; the feeder
+        simply waits out full-queue periods instead of failing items, so bulk
+        ingestion is throttled by — never starved of, never starving —
+        interactive traffic.
+        """
+        while True:
+            with self._batch_cond:
+                while not self._batch_backlog and not self._closing:
+                    self._batch_cond.wait()
+                if self._closing:
+                    return
+                record, index, problem, key = self._batch_backlog.popleft()
+            # The cache may have filled since enqueueing (an identical item
+            # earlier in the batch, or an interactive solve).
+            cached = self._cached_report(key)
+            if cached is not None:
+                self._settle_batch_item(record, index, ITEM_CACHED, cached)
+                continue
+            job = Job(problem, cache_key=key)
+            job.add_terminal_callback(
+                lambda finished, r=record, i=index: self._on_batch_job(r, i, finished)
+            )
+            while True:
+                try:
+                    shared = self._coalesce_or_submit(job)
+                    break
+                except PoolSaturated:
+                    if self._closing:
+                        return
+                    time.sleep(0.05)
+            if shared is not job:
+                # Coalesced onto an identical live job from another request
+                # (or another item of this very batch).
+                shared.add_terminal_callback(
+                    lambda finished, r=record, i=index: self._on_batch_job(r, i, finished)
+                )
+
+    def _settle_batch_item(
+        self,
+        record: BatchRecord,
+        index: int,
+        status: str,
+        report: Optional[Dict[str, Any]],
+        error: Optional[str] = None,
+    ) -> None:
+        regex = None
+        if report and report.get("solutions"):
+            regex = report["solutions"][0].get("regex")
+        record.update_item(index, status, regex=regex, error=error)
+        record.save()
+
+    def _on_batch_job(self, record: BatchRecord, index: int, job: Job) -> None:
+        """Terminal-job hook persisting the batch item's outcome."""
+        if job.status == JOB_DONE:
+            report = job.report or {}
+            status = ITEM_SOLVED if report.get("solved") else ITEM_UNSOLVED
+            self._settle_batch_item(record, index, status, report)
+        elif job.status == JOB_FAILED:
+            self._settle_batch_item(
+                record, index, ITEM_FAILED, None, error=(job.error or "engine error")[:500]
+            )
+        else:  # cancelled (e.g. shutdown): stays queued so a resume re-ingests
+            record.release(index)
+            record.save()
+
+    def _ingest_line(self, record: BatchRecord, index: int, raw: str) -> str:
+        """Validate + route one NDJSON line; returns the item's initial status.
+
+        ``index == len(record)`` appends; ``index < len(record)`` replaces a
+        stranded ``queued`` item (re-ingestion after a server restart).
+        """
+        replacing = index < len(record)
+
+        def settle(status: str, **extra: Any) -> str:
+            if replacing:
+                record.update_item(index, status, **extra)
+            else:
+                record.append_item(status, **extra)
+            return status
+
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            return settle(ITEM_FAILED, error=f"malformed JSON: {exc}")
+        try:
+            problem = problem_from_data(data, max_budget=self.config.max_budget)
+        except WireError as exc:
+            return settle(ITEM_FAILED, error=str(exc))
+        diagnostic = problem_unsatisfiable(problem)
+        if diagnostic is not None:
+            return settle(ITEM_FAILED, error=diagnostic.message)
+        key = problem.cache_key()
+        cached = self._cached_report(key)
+        if cached is not None:
+            regex = None
+            if cached.get("solutions"):
+                regex = cached["solutions"][0].get("regex")
+            return settle(ITEM_CACHED, cache_key=key, regex=regex)
+        settle(ITEM_QUEUED, cache_key=key)
+        record.mark_live(index)
+        with self._batch_cond:
+            self._batch_backlog.append((record, index, problem, key))
+            self._batch_cond.notify()
+        return ITEM_QUEUED
+
+    def handle_batch_submit(
+        self, body: bytes, batch_id: Optional[str] = None, offset: int = 0
+    ) -> Response:
+        """``POST /v1/batch[?batch=<id>&offset=<n>]`` — bulk NDJSON ingestion.
+
+        The body is one Problem dict per line.  Without ``batch`` a new batch
+        is created; with it, lines are resumed into the existing record: line
+        ``i`` of this request is item ``offset + i`` of the batch, indexes
+        the record already ingested are skipped (unless stranded in
+        ``queued`` with no live job — a server restart — in which case they
+        are re-ingested), and an offset beyond the record's end is rejected
+        because it would leave a gap of unknown items.
+        """
+        self.count("batch.submit")
+        if offset < 0:
+            return 400, error_body("bad_offset", "offset must be >= 0")
+        if batch_id is None:
+            if offset:
+                return 400, error_body(
+                    "bad_offset", "offset requires an existing batch id"
+                )
+            record = self.batches.create()
+        else:
+            record = self.batches.get(batch_id)
+            if record is None:
+                return 404, error_body("not_found", f"no such batch: {batch_id}")
+        if offset > len(record):
+            return 409, error_body(
+                "bad_offset",
+                f"offset {offset} would leave a gap (batch has {len(record)} items)",
+            )
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            return 400, error_body("bad_request", f"body is not UTF-8: {exc}")
+        self._ensure_feeder()
+        statuses = []
+        ingested = skipped = 0
+        for i, raw in enumerate(line for line in text.splitlines() if line.strip()):
+            index = offset + i
+            if index < len(record) and not record.needs_reingest(index):
+                statuses.append(record.status_of(index))
+                skipped += 1
+                continue
+            statuses.append(self._ingest_line(record, index, raw))
+            ingested += 1
+        record.save()
+        payload = record.summary()
+        payload["schema"] = WIRE_SCHEMA
+        payload["ingested"] = ingested
+        payload["skipped"] = skipped
+        payload["statuses"] = statuses
+        return 202, payload
+
+    def handle_batch_get(
+        self, batch_id: str, offset: int = 0, limit: int = 100
+    ) -> Response:
+        """``GET /v1/batch/{id}?offset=<n>&limit=<n>`` — paginated statuses."""
+        self.count("batch.get")
+        if offset < 0 or limit < 1:
+            return 400, error_body(
+                "bad_offset", "offset must be >= 0 and limit >= 1"
+            )
+        record = self.batches.get(batch_id)
+        if record is None:
+            return 404, error_body("not_found", f"no such batch: {batch_id}")
+        payload = record.page(offset=offset, limit=min(limit, 1000))
+        payload["schema"] = WIRE_SCHEMA
+        return 200, payload
+
     def handle_healthz(self) -> Response:
         """``GET /v1/healthz`` — liveness."""
         return 200, {
@@ -349,10 +566,22 @@ class ServiceState:
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
             "jobs": {"tracked": tracked},
+            "batches": {
+                "tracked": len(self.batches),
+                "backlog": len(self._batch_backlog),
+            },
         }
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        # Stop the feeder before the pool: nothing new must enter the queue
+        # while the pool cancels and joins.  Backlogged items stay ``queued``
+        # in their (persisted) records, so a restart + resume picks them up.
+        with self._batch_cond:
+            self._closing = True
+            self._batch_cond.notify_all()
+        if self._batch_feeder_thread is not None:
+            self._batch_feeder_thread.join(timeout=5.0)
         self.pool.close()
         self.cache.close()

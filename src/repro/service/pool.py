@@ -66,10 +66,25 @@ class Job:
         self.finished: Optional[float] = None
         self._done = threading.Event()
         self._lock = threading.Lock()
+        self._terminal_callbacks: List[Callable[["Job"], None]] = []
 
     @property
     def terminal(self) -> bool:
         return self.status in (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+    def add_terminal_callback(self, callback: Callable[["Job"], None]) -> None:
+        """Invoke ``callback(job)`` once the job reaches a terminal state.
+
+        Registered under the job lock, so a callback is either queued for
+        :meth:`finish` or — if the job is already terminal — run immediately;
+        never lost in between.  Batch ingestion uses this to persist per-item
+        outcomes, including when several batch items coalesce onto one job.
+        """
+        with self._lock:
+            if not self.terminal:
+                self._terminal_callbacks.append(callback)
+                return
+        callback(self)
 
     def add_solution(self, solution: Dict[str, Any]) -> None:
         with self._lock:
@@ -90,7 +105,14 @@ class Job:
             self.report = report
             self.error = error
             self.finished = time.time()
+            callbacks = self._terminal_callbacks
+            self._terminal_callbacks = []
         self._done.set()
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                pass  # a failing observer must not fail the job
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job is terminal; False on timeout."""

@@ -2,17 +2,20 @@
 
 Endpoints (all JSON; see ``docs/api.md`` for the full reference):
 
-========  ==================  ===========================================
-method    path                behaviour
-========  ==================  ===========================================
-POST      ``/v1/solve``       Problem in, RunReport out (synchronous)
-POST      ``/v1/jobs``        Problem in, job record out (async submit)
-POST      ``/v1/lint``        Problem (+ sketches) in, diagnostics out
-GET       ``/v1/jobs/{id}``   poll status + partial solutions
-DELETE    ``/v1/jobs/{id}``   cooperative cancellation
-GET       ``/v1/healthz``     liveness probe
-GET       ``/v1/stats``       cache / pool / request counters
-========  ==================  ===========================================
+========  ===================  ===========================================
+method    path                 behaviour
+========  ===================  ===========================================
+POST      ``/v1/solve``        Problem in, RunReport out (synchronous)
+POST      ``/v1/jobs``         Problem in, job record out (async submit)
+POST      ``/v1/lint``         Problem (+ sketches) in, diagnostics out
+POST      ``/v1/batch``        NDJSON of Problems in, batch record out
+                               (``?batch=<id>&offset=<n>`` resumes)
+GET       ``/v1/batch/{id}``   paginated per-item statuses
+GET       ``/v1/jobs/{id}``    poll status + partial solutions
+DELETE    ``/v1/jobs/{id}``    cooperative cancellation
+GET       ``/v1/healthz``      liveness probe
+GET       ``/v1/stats``        cache / pool / request counters
+========  ===================  ===========================================
 
 Built on :class:`http.server.ThreadingHTTPServer` (no third-party runtime
 dependencies, like the rest of the package): each connection gets a request
@@ -29,11 +32,21 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.service.handlers import ServiceConfig, ServiceState
 from repro.service.wire import MAX_BODY_BYTES, error_body
 
 _JOB_PATH = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]{32})$")
+_BATCH_PATH = re.compile(r"^/v1/batch/(?P<batch_id>[0-9a-f]{32})$")
+
+
+def _int_param(params: Dict[str, list], name: str, default: int) -> int:
+    """First occurrence of an integer query parameter (raises ValueError)."""
+    values = params.get(name)
+    if not values:
+        return default
+    return int(values[0])
 
 
 class RegelHTTPServer(ThreadingHTTPServer):
@@ -95,30 +108,60 @@ class RegelRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         state = self.state
+        path, _, raw_query = self.path.partition("?")
         try:
-            if method == "GET" and self.path == "/v1/healthz":
+            params = parse_qs(raw_query)
+        except ValueError:
+            params = {}
+        try:
+            if method == "GET" and path == "/v1/healthz":
                 self._send(*state.handle_healthz())
-            elif method == "GET" and self.path == "/v1/stats":
+            elif method == "GET" and path == "/v1/stats":
                 self._send(*state.handle_stats())
-            elif method == "POST" and self.path == "/v1/solve":
+            elif method == "POST" and path == "/v1/solve":
                 body = self._read_body()
                 if body is not None:
                     self._send(*state.handle_solve(body))
-            elif method == "POST" and self.path == "/v1/jobs":
+            elif method == "POST" and path == "/v1/jobs":
                 body = self._read_body()
                 if body is not None:
                     self._send(*state.handle_submit(body))
-            elif method == "POST" and self.path == "/v1/lint":
+            elif method == "POST" and path == "/v1/lint":
                 body = self._read_body()
                 if body is not None:
                     self._send(*state.handle_lint(body))
-            elif (match := _JOB_PATH.match(self.path)) and method == "GET":
-                self._send(*state.handle_job_get(match.group("job_id")))
-            elif match and method == "DELETE":
-                self._send(*state.handle_job_cancel(match.group("job_id")))
+            elif method == "POST" and path == "/v1/batch":
+                body = self._read_body()
+                if body is not None:
+                    batch_id = (params.get("batch") or [None])[0]
+                    try:
+                        offset = _int_param(params, "offset", 0)
+                    except ValueError:
+                        self._send(
+                            400, error_body("bad_offset", "offset must be an integer")
+                        )
+                        return
+                    self._send(*state.handle_batch_submit(body, batch_id, offset))
+            elif (batch_match := _BATCH_PATH.match(path)) and method == "GET":
+                try:
+                    offset = _int_param(params, "offset", 0)
+                    limit = _int_param(params, "limit", 100)
+                except ValueError:
+                    self._send(
+                        400,
+                        error_body("bad_offset", "offset and limit must be integers"),
+                    )
+                    return
+                self._send(
+                    *state.handle_batch_get(batch_match.group("batch_id"), offset, limit)
+                )
+            elif (job_match := _JOB_PATH.match(path)) and method == "GET":
+                self._send(*state.handle_job_get(job_match.group("job_id")))
+            elif job_match and method == "DELETE":
+                self._send(*state.handle_job_cancel(job_match.group("job_id")))
             else:
                 self._send(
-                    404, error_body("not_found", f"{method} {self.path} is not a route")
+                    404, error_body("not_found", f"{method} {path} is not a route")
                 )
         except BrokenPipeError:  # client went away mid-response
             pass

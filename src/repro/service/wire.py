@@ -17,6 +17,7 @@ import json
 from typing import Any, Dict, Mapping, Optional
 
 from repro.api.problem import Problem
+from repro.sketch.parser import parse_sketch
 
 #: Version tag stamped into ``/v1/healthz`` and ``/v1/stats`` responses.
 WIRE_SCHEMA = 1
@@ -67,6 +68,13 @@ def parse_problem(
         data = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"request body is not valid JSON: {exc}") from None
+    return problem_from_data(data, max_budget=max_budget)
+
+
+def problem_from_data(
+    data: Any, max_budget: Optional[float] = None
+) -> Problem:
+    """Validate one already-decoded Problem dict (shared with the batch path)."""
     if not isinstance(data, Mapping):
         raise WireError("request body must be a JSON object (a Problem dict)")
     if not isinstance(data.get("description", ""), str):
@@ -80,6 +88,16 @@ def parse_problem(
             raise WireError(f"{field} must be a JSON array of strings")
         if not all(isinstance(example, str) for example in examples):
             raise WireError(f"{field} examples must be strings")
+    pinned = data.get("sketches", [])
+    if isinstance(pinned, str) or not isinstance(pinned, (list, tuple)):
+        raise WireError("sketches must be a JSON array of sketch strings")
+    for entry in pinned:
+        if not isinstance(entry, str):
+            raise WireError("sketches must be a JSON array of sketch strings")
+        try:
+            parse_sketch(entry)
+        except (ValueError, TypeError) as exc:
+            raise WireError(f"invalid sketch {entry!r}: {exc}") from None
     try:
         problem = Problem.from_dict(data)
     except (TypeError, ValueError) as exc:
@@ -99,8 +117,6 @@ def parse_lint_sketches(body: bytes) -> "list[tuple[str, Any]]":
     are ignored by :meth:`Problem.from_dict`, so the same body serves both
     ``parse_problem`` and this.
     """
-    from repro.sketch.parser import parse_sketch
-
     data = json.loads(body.decode("utf-8"))
     entries = data.get("sketches", [])
     if isinstance(entries, str) or not isinstance(entries, (list, tuple)):

@@ -439,3 +439,87 @@ class TestCliJson:
         captured = capsys.readouterr()
         assert code == 0
         assert "Repeat" in captured.out or "<num>" in captured.out
+
+    def test_batch_ndjson_stream_with_record(self, tmp_path, capsys):
+        from repro.cli import main
+
+        problems = [
+            Problem("3 digits", positive=["123"], negative=["12"], budget=5.0),
+            Problem("2 letters", positive=["ab"], negative=["a"], budget=5.0),
+        ]
+        path = tmp_path / "problems.ndjson"
+        path.write_text("\n".join(p.canonical_json() for p in problems) + "\n")
+        record_path = tmp_path / "batch.json"
+        code = main(["batch", str(path), "--record", str(record_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len([line for line in captured.out.splitlines() if line.strip()]) == 2
+
+        # The record is the same format the service writes.
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord.load(record_path)
+        assert len(record) == 2 and record.done
+        assert record.counts()["failed"] == 0
+
+        # Re-running against the same record skips every known item.
+        code = main(["batch", str(path), "--record", str(record_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == ""
+        assert "skipped" in captured.err
+
+    def test_batch_resume_offset_skips_lines(self, tmp_path, capsys):
+        from repro.cli import main
+
+        problems = [
+            Problem("3 digits", positive=["123"], negative=["12"], budget=5.0),
+            Problem("2 letters", positive=["ab"], negative=["a"], budget=5.0),
+        ]
+        path = tmp_path / "problems.ndjson"
+        path.write_text("\n".join(p.canonical_json() for p in problems) + "\n")
+        code = main(["batch", str(path), "--resume", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert RunReport.from_json(lines[0]).problem.description == "2 letters"
+
+    def test_batch_bad_line_fails_item_not_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        good = Problem("3 digits", positive=["123"], negative=["12"], budget=5.0)
+        path = tmp_path / "problems.ndjson"
+        path.write_text("{broken\n" + good.canonical_json() + "\n")
+        code = main(["batch", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1  # at least one item failed
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        assert "error" in json.loads(lines[0])
+        assert RunReport.from_json(lines[1]).solved
+
+    def test_corpus_generate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "corpus.ndjson"
+        corpus.write_text(
+            '{"pattern": "^\\\\d{3}$", "uses": 5}\n'
+            '{"pattern": "(?=x)y", "uses": 5}\n'
+        )
+        out = tmp_path / "problems.ndjson"
+        code = main(["corpus", "generate", str(corpus), "-o", str(out), "--seed", "7"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [line for line in out.read_text().splitlines() if line.strip()]
+        assert len(lines) == 1
+        problem = Problem.from_json(lines[0])
+        assert problem.description == "^\\d{3}$"
+        assert problem.positive and problem.negative
+        assert "lookaround" in captured.err
+
+        # Same seed, same output: generation is deterministic.
+        out2 = tmp_path / "problems2.ndjson"
+        main(["corpus", "generate", str(corpus), "-o", str(out2), "--seed", "7"])
+        capsys.readouterr()
+        assert out2.read_text() == out.read_text()

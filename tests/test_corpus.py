@@ -1,0 +1,368 @@
+"""Tests for the real-world corpus subsystem: loader, translator, generator.
+
+The committed fixtures under ``tests/fixtures/corpus/`` are the offline
+stand-in for the Davis-2019 corpus: ``sample_corpus.ndjson`` mixes ~200
+realistic patterns (translatable and not) with the field-name variants the
+liberal loader must accept; ``untranslatable.ndjson`` is a handcrafted file
+where every line exercises a distinct skip reason.
+"""
+
+import io
+import json
+import pathlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.analyzer import facts_of_sketch
+from repro.automata.sampling import sample_positive
+from repro.corpus import (
+    GenerationSkip,
+    GeneratorConfig,
+    SkipPattern,
+    charset_to_regex,
+    generate_problems,
+    load_corpus,
+    problem_from_pattern,
+    punch_holes,
+    translate_pattern,
+)
+from repro.corpus.loader import SKIP_MALFORMED_JSON, SKIP_MIN_USES, SKIP_MISSING_PATTERN
+from repro.dsl import ast as r
+from repro.dsl.charclass import PRINTABLE_ALPHABET, CharClassKind, chars_of
+from repro.dsl.semantics import Matcher
+from repro.sketch import ast as sast
+from repro.sketch.parser import parse_sketch
+from repro.sketch.printer import sketch_to_string
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "fixtures" / "corpus"
+SAMPLE = CORPUS_DIR / "sample_corpus.ndjson"
+UNTRANSLATABLE = CORPUS_DIR / "untranslatable.ndjson"
+
+
+def matches(regex, subject: str) -> bool:
+    return Matcher(subject).matches(regex)
+
+
+# ---------------------------------------------------------------------------
+# Translator
+# ---------------------------------------------------------------------------
+
+
+class TestTranslatePattern:
+    @pytest.mark.parametrize(
+        "pattern,accepted,rejected",
+        [
+            (r"^\d+$", ["1", "123"], ["", "a", "1a"]),
+            (r"^\d{3}-\d{4}$", ["555-0199"], ["5550199", "55-0199"]),
+            (r"^[a-z0-9_]{3,5}$", ["abc", "a_1z9"], ["ab", "abcdef", "ABC"]),
+            (r"^a*b+c?$", ["b", "aabbc"], ["", "a", "c", "bcc"]),
+            (r"^(a|b)c$", ["ac", "bc"], ["c", "abc"]),
+            (r"^x{2}$", ["xx"], ["x", "xxx"]),
+            (r"^x{2,}$", ["xx", "xxxx"], ["x"]),
+            (r"^x{0,2}$", ["", "x", "xx"], ["xxx"]),
+            (r"^\w+$", ["a_9"], ["a b", ""]),
+            (r"^[^\W\d]+$", ["ab_", "Zz"], ["a1", "a b", ""]),
+            (r"^a\.b$", ["a.b"], ["axb"]),
+            (r"^\x41$", ["A"], ["B"]),
+            (r"^[[:digit:]]+$", ["42"], ["4a"]),
+        ],
+    )
+    def test_language_equivalence_on_examples(self, pattern, accepted, rejected):
+        regex = translate_pattern(pattern)
+        for subject in accepted:
+            assert matches(regex, subject), (pattern, subject)
+        for subject in rejected:
+            assert not matches(regex, subject), (pattern, subject)
+
+    def test_search_semantics_for_unanchored_patterns(self):
+        # Corpus regexes are used with re.search: "abc" matches anywhere.
+        regex = translate_pattern("abc")
+        assert matches(regex, "xxabcxx")
+        assert not matches(regex, "ab")
+        starts = translate_pattern("^abc")
+        assert matches(starts, "abcdef") and not matches(starts, "xabc")
+        ends = translate_pattern("abc$")
+        assert matches(ends, "xabc") and not matches(ends, "abcx")
+
+    def test_lazy_quantifier_same_language(self):
+        # Laziness changes match extents, not the matched language.
+        assert translate_pattern("^a+?$") == translate_pattern("^a+$")
+
+    @pytest.mark.parametrize(
+        "pattern,reason",
+        [
+            (r"(?=x)y", "lookaround"),
+            (r"(?<!x)y", "lookaround"),
+            (r"(a)\1", "backreference"),
+            (r"(?P<g>a)(?P=g)", "backreference"),
+            (r"\bword", "word-boundary"),
+            (r"a^b", "inner-anchor"),
+            (r"^a|b$", "inner-anchor"),
+            (r"(?i)abc", "inline-flags"),
+            (r"a*+", "possessive-quantifier"),
+            (r"a{999}", "too-large"),
+            (r"[^0-9]", "class-too-large"),
+            (r"\p{L}", "unsupported-escape"),
+            (r"a\nb", "alphabet-escape"),
+            (r"(unclosed", "parse-error"),
+            (r"x{3,1}", "parse-error"),
+            ("", "empty-pattern"),
+        ],
+    )
+    def test_skip_reasons(self, pattern, reason):
+        with pytest.raises(SkipPattern) as excinfo:
+            translate_pattern(pattern)
+        assert excinfo.value.reason == reason
+
+    def test_grouping_is_transparent(self):
+        assert translate_pattern("^(?:ab)+$") == translate_pattern("^(ab)+$")
+        assert translate_pattern("^(?P<name>ab)$") == translate_pattern("^ab$")
+
+    def test_never_mistranslates_via_python_re(self):
+        # Spot-check agreement with Python's own engine on the anchored
+        # subset (identical whole-string semantics).
+        import re as pyre
+
+        patterns = [r"^\d{2,4}$", r"^[a-f]+$", r"^a(b|c)*d$", r"^x?y{2}$"]
+        subjects = ["", "12", "12345", "abc", "ad", "abcd", "xyy", "yy", "fff"]
+        for pattern in patterns:
+            regex = translate_pattern(pattern)
+            for subject in subjects:
+                assert matches(regex, subject) == bool(
+                    pyre.fullmatch(pattern[1:-1], subject)
+                ), (pattern, subject)
+
+
+class TestCharsetToRegex:
+    def test_exact_predefined_classes(self):
+        assert charset_to_regex(chars_of(CharClassKind.HEX)) == r.CharClass(
+            CharClassKind.HEX
+        )
+        assert charset_to_regex(chars_of(CharClassKind.NUM)) == r.CharClass(
+            CharClassKind.NUM
+        )
+        assert charset_to_regex(frozenset(PRINTABLE_ALPHABET)) == r.ANY
+
+    def test_greedy_cover_with_literal_remainder(self):
+        regex = charset_to_regex(chars_of(CharClassKind.NUM) | {"_"})
+        accepted = {c for c in PRINTABLE_ALPHABET if matches(regex, c)}
+        assert accepted == chars_of(CharClassKind.NUM) | {"_"}
+
+    def test_class_too_large_is_skipped(self):
+        # A scattered set coverable only literal-by-literal past the cap.
+        with pytest.raises(SkipPattern) as excinfo:
+            charset_to_regex(frozenset(";:,.!?()[]<>@#%&*+="))
+        assert excinfo.value.reason == "class-too-large"
+
+    def test_empty_charset_is_skipped(self):
+        with pytest.raises(SkipPattern):
+            charset_to_regex(frozenset())
+
+
+# ---------------------------------------------------------------------------
+# Loader
+# ---------------------------------------------------------------------------
+
+
+class TestLoadCorpus:
+    def test_sample_corpus_loads_every_line(self):
+        result = load_corpus(SAMPLE)
+        assert len(result.entries) >= 190
+        assert not result.skipped
+        assert result.total_lines == len(result.entries)
+
+    def test_field_name_variants(self):
+        # The fixture includes "regex"/"re" pattern keys and nested
+        # per-language static-count dicts.
+        result = load_corpus(SAMPLE)
+        by_pattern = {entry.pattern: entry for entry in result.entries}
+        assert by_pattern[r"^\d{6}$"].static_uses == 15  # {"js": 12, "py": 3}
+        assert by_pattern[r"^[a-z]{4}$"].static_uses == 9  # bare "uses"
+        assert by_pattern[r"^ok$"].dynamic_uses == 5  # "dynamicHits"
+
+    def test_skip_counters(self):
+        result = load_corpus(UNTRANSLATABLE, min_uses=1)
+        assert result.skipped[SKIP_MALFORMED_JSON] == 1
+        assert result.skipped[SKIP_MISSING_PATTERN] == 1
+        assert result.skipped[SKIP_MIN_USES] == 1
+        assert len(result.entries) == 5
+
+    def test_limit_caps_loaded_not_scanned(self):
+        result = load_corpus(SAMPLE, limit=7)
+        assert len(result.entries) == 7
+
+    def test_accepts_file_object_and_blank_lines(self):
+        stream = io.StringIO('\n{"pattern": "^a$", "uses": 1}\n\n')
+        result = load_corpus(stream)
+        assert [entry.pattern for entry in result.entries] == ["^a$"]
+        assert result.entries[0].line == 2
+
+
+# ---------------------------------------------------------------------------
+# Problem generation
+# ---------------------------------------------------------------------------
+
+
+class TestProblemGeneration:
+    def test_examples_are_consistent_with_ground_truth(self):
+        pattern = r"^\d{2}-[a-z]{3}$"
+        problem = problem_from_pattern(pattern, GeneratorConfig())
+        regex = translate_pattern(pattern)
+        assert problem.description == pattern
+        assert problem.positive and problem.negative
+        for example in problem.positive:
+            assert matches(regex, example), example
+        for example in problem.negative:
+            assert not matches(regex, example), example
+
+    def test_sketches_are_pinned_and_parse(self):
+        problem = problem_from_pattern(r"^\d{3}\.\d{2}$", GeneratorConfig(sketches=2))
+        assert problem.sketches
+        for text in problem.sketches:
+            sketch = parse_sketch(text)
+            assert sketch_to_string(sketch) == text
+
+    def test_deterministic_under_fixed_seed(self):
+        config = GeneratorConfig(seed=11)
+        first = problem_from_pattern(r"^\d{3}-\d{4}$", config)
+        second = problem_from_pattern(r"^\d{3}-\d{4}$", config)
+        assert first.cache_key() == second.cache_key()
+
+    def test_seed_changes_problems(self):
+        base = problem_from_pattern(r"^\d{3}-\d{4}$", GeneratorConfig(seed=1))
+        other = problem_from_pattern(r"^\d{3}-\d{4}$", GeneratorConfig(seed=2))
+        assert base.cache_key() != other.cache_key()
+
+    def test_insertion_independence(self):
+        # Per-pattern seeding: generating a pattern alone or inside a stream
+        # yields the identical problem (corpus edits never ripple).
+        config = GeneratorConfig(seed=3)
+        alone = problem_from_pattern(r"^[a-f]{4}$", config)
+        batch = generate_problems([r"^\d+$", r"^[a-f]{4}$", r"^x+$"], config)
+        keys = [problem.cache_key() for problem in batch.problems]
+        assert alone.cache_key() in keys
+
+    def test_universal_language_is_skipped(self):
+        with pytest.raises(GenerationSkip) as excinfo:
+            problem_from_pattern(r".*", GeneratorConfig())
+        assert excinfo.value.reason == "universal-language"
+
+    def test_untranslatable_fixture_counts_every_skip(self):
+        # min_uses=1 also drops the fixture's below-threshold (translatable)
+        # entry, leaving only lines that the translator must refuse.
+        result = load_corpus(UNTRANSLATABLE, min_uses=1)
+        generated = generate_problems(result.entries, GeneratorConfig())
+        assert not generated.problems
+        for reason in (
+            "lookaround",
+            "backreference",
+            "word-boundary",
+            "alphabet-escape",
+            "inline-flags",
+        ):
+            assert generated.skipped[reason] == 1, reason
+        assert generated.total == len(result.entries)
+
+    def test_sample_corpus_yields_many_problems(self):
+        result = load_corpus(SAMPLE, limit=40)
+        generated = generate_problems(result.entries, GeneratorConfig())
+        assert len(generated.problems) >= 25
+        assert generated.total == 40
+
+
+# ---------------------------------------------------------------------------
+# Hole punching
+# ---------------------------------------------------------------------------
+
+_LEAVES = [r.CharClass(kind) for kind in CharClassKind] + [
+    r.literal(char) for char in "ab1.-"
+]
+
+_regexes = st.recursive(
+    st.sampled_from(_LEAVES),
+    lambda children: st.one_of(
+        children.map(r.StartsWith),
+        children.map(r.EndsWith),
+        children.map(r.Contains),
+        children.map(r.Optional),
+        children.map(r.KleeneStar),
+        st.tuples(children, children).map(lambda pair: r.Concat(*pair)),
+        st.tuples(children, children).map(lambda pair: r.Or(*pair)),
+        st.tuples(children, st.integers(1, 3)).map(lambda pair: r.Repeat(*pair)),
+        st.tuples(children, st.integers(1, 3)).map(
+            lambda pair: r.RepeatAtLeast(*pair)
+        ),
+    ),
+    max_leaves=10,
+)
+
+
+def _has_hole(sketch) -> bool:
+    if isinstance(sketch, sast.Hole):
+        return True
+    if isinstance(sketch, sast.OpSketch):
+        return any(_has_hole(arg) for arg in sketch.args)
+    if isinstance(sketch, sast.IntOpSketch):
+        return _has_hole(sketch.arg)
+    return False
+
+
+class TestPunchHoles:
+    def test_always_produces_a_hole(self):
+        regex = translate_pattern(r"^\d{3}-\d{4}$")
+        sketch = punch_holes(regex, random.Random(0), holes=1, hole_depth=2)
+        assert _has_hole(sketch)
+
+    def test_single_node_regex_becomes_hole(self):
+        sketch = punch_holes(r.literal("a"), random.Random(0))
+        assert isinstance(sketch, sast.Hole)
+
+    def test_deterministic_for_fixed_rng_seed(self):
+        regex = translate_pattern(r"^[a-z]+\.[0-9]{2}$")
+        first = punch_holes(regex, random.Random(5), holes=2, hole_depth=2)
+        second = punch_holes(regex, random.Random(5), holes=2, hole_depth=2)
+        assert sketch_to_string(first) == sketch_to_string(second)
+
+    @settings(max_examples=120, deadline=None)
+    @given(regex=_regexes, seed=st.integers(0, 2**16))
+    def test_punched_sketch_never_rejects_the_truth_samples(self, regex, seed):
+        # Round-trip soundness: the original regex is a completion of its
+        # own punched sketch, so the sketch's static facts may never reject
+        # a string the regex accepts.  (This is the property the generator
+        # relies on when it vets sketches against sampled positives.)
+        samples = sample_positive(regex, 3, random.Random(seed), max_length=8)
+        if not samples:
+            return
+        sketch = punch_holes(regex, random.Random(seed), holes=2, hole_depth=2)
+        text = sketch_to_string(sketch)
+        facts = facts_of_sketch(parse_sketch(text), hole_depth=3)
+        for sample in samples:
+            assert facts.reject_reason(sample) is None, (regex, text, sample)
+
+
+# ---------------------------------------------------------------------------
+# NDJSON output contract
+# ---------------------------------------------------------------------------
+
+
+class TestGeneratedProblemWireFormat:
+    def test_problems_round_trip_through_problem_ndjson(self):
+        from repro.api import Problem
+
+        generated = generate_problems([r"^\d{4}$"], GeneratorConfig())
+        assert generated.problems
+        line = generated.problems[0].canonical_json()
+        restored = Problem.from_dict(json.loads(line))
+        assert restored == generated.problems[0]
+        assert restored.cache_key() == generated.problems[0].cache_key()
+
+    def test_sketchless_problem_omits_sketches_key(self):
+        from repro.api import Problem
+
+        problem = Problem("d", positive=["1"])
+        assert "sketches" not in problem.to_dict()
+        pinned = Problem("d", positive=["1"], sketches=["Hole()"])
+        assert pinned.to_dict()["sketches"] == ["Hole()"]
+        assert pinned.cache_key() != problem.cache_key()

@@ -563,3 +563,336 @@ class TestBackPressureHttp:
         finally:
             release.set()
             live.close()
+
+
+# ---------------------------------------------------------------------------
+# Batch records (unit)
+# ---------------------------------------------------------------------------
+
+
+class TestBatchRecord:
+    def test_append_update_counts_done(self, tmp_path):
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord(path=tmp_path / "b.json")
+        first = record.append_item("queued", cache_key="k0")
+        second = record.append_item("cached", cache_key="k1", regex="<num>")
+        assert (first, second) == (0, 1)
+        assert len(record) == 2
+        assert not record.done
+        record.update_item(0, "solved", regex="Repeat(<num>,3)")
+        assert record.done
+        counts = record.counts()
+        assert counts["solved"] == 1 and counts["cached"] == 1
+        assert record.items[1]["regex"] == "<num>"
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord(path=tmp_path / "b.json")
+        record.append_item("queued", cache_key="k0")
+        record.append_item("failed", cache_key="", error="bad json")
+        record.save()
+        restored = BatchRecord.load(tmp_path / "b.json")
+        assert restored.batch_id == record.batch_id
+        assert restored.items == record.items
+
+    def test_live_claims_are_not_persisted(self, tmp_path):
+        # The restart-resume contract: a queued item whose job died with the
+        # process must come back eligible for re-ingestion.
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord(path=tmp_path / "b.json")
+        record.append_item("queued", cache_key="k0")
+        record.mark_live(0)
+        assert not record.needs_reingest(0)
+        record.save()
+        restored = BatchRecord.load(tmp_path / "b.json")
+        assert restored.needs_reingest(0)
+
+    def test_terminal_update_discards_live_claim(self, tmp_path):
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord()
+        record.append_item("queued")
+        record.mark_live(0)
+        record.update_item(0, "solved")
+        assert 0 not in record.live
+
+    def test_release_reopens_queued_item(self):
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord()
+        record.append_item("queued")
+        record.mark_live(0)
+        record.release(0)
+        assert record.needs_reingest(0)
+
+    def test_page_slices(self):
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord()
+        for i in range(5):
+            record.append_item("cached", cache_key=f"k{i}")
+        page = record.page(offset=2, limit=2)
+        assert [item["index"] for item in page["items"]] == [2, 3]
+        assert page["total"] == 5 and page["done"]
+
+
+class TestBatchStore:
+    def test_create_persists_immediately(self, tmp_path):
+        from repro.service.batch import BatchStore
+
+        store = BatchStore(tmp_path / "batches")
+        record = store.create()
+        assert (tmp_path / "batches" / f"{record.batch_id}.json").is_file()
+        assert store.get(record.batch_id) is record
+
+    def test_faults_in_from_disk(self, tmp_path):
+        # A "restarted" store (fresh instance, same directory) still serves
+        # batches the previous process created.
+        from repro.service.batch import BatchStore
+
+        store = BatchStore(tmp_path / "batches")
+        record = store.create()
+        record.append_item("solved", cache_key="k", regex="<num>")
+        record.save()
+        reborn = BatchStore(tmp_path / "batches")
+        assert len(reborn) == 0
+        loaded = reborn.get(record.batch_id)
+        assert loaded is not None
+        assert loaded.items == record.items
+
+    def test_unknown_id_is_none(self, tmp_path):
+        from repro.service.batch import BatchStore
+
+        store = BatchStore(tmp_path / "batches")
+        assert store.get("f" * 32) is None
+
+
+# ---------------------------------------------------------------------------
+# Batch ingestion over HTTP
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def batch_server(tmp_path):
+    config = ServiceConfig(
+        port=0,
+        workers=2,
+        cache_backend="json",
+        cache_path=str(tmp_path / "cache"),
+        batch_dir=str(tmp_path / "batches"),
+        sketches=8,
+    )
+    live = start_server(config)
+    yield live
+    live.close()
+
+
+@pytest.fixture()
+def batch_client(batch_server):
+    host, port = batch_server.server_address[:2]
+    return ServiceClient(f"http://{host}:{port}")
+
+
+def _batch_problems(count=3, tag="digits"):
+    return [
+        Problem(
+            f"{n} {tag}",
+            positive=["1" * n, "2" * n],
+            negative=["a", "1" * (n + 4)],
+            budget=10.0,
+        ).to_dict()
+        for n in range(2, 2 + count)
+    ]
+
+
+class TestBatchHttp:
+    def test_submit_wait_and_paginate(self, batch_client):
+        receipt = batch_client.submit_batch(_batch_problems(3))
+        assert receipt["ingested"] == 3 and receipt["skipped"] == 0
+        assert receipt["statuses"] == ["queued"] * 3
+        summary = batch_client.wait_batch(receipt["batch_id"], timeout=60)
+        assert summary["done"]
+        assert summary["counts"]["failed"] == 0
+        assert summary["counts"]["solved"] + summary["counts"]["unsolved"] == 3
+        page = batch_client.batch_status(receipt["batch_id"], offset=1, limit=1)
+        assert [item["index"] for item in page["items"]] == [1]
+        assert page["items"][0]["cache_key"]
+
+    def test_resume_skips_known_items(self, batch_client):
+        problems = _batch_problems(3, tag="resumed digits")
+        receipt = batch_client.submit_batch(problems[:2])
+        batch_id = receipt["batch_id"]
+        batch_client.wait_batch(batch_id, timeout=60)
+        # Re-POST the full stream from the top: 2 known, 1 new.
+        second = batch_client.submit_batch(problems, batch_id=batch_id)
+        assert second["skipped"] == 2 and second["ingested"] == 1
+        summary = batch_client.wait_batch(batch_id, timeout=60)
+        assert summary["total"] == 3 and summary["counts"]["failed"] == 0
+
+    def test_reingestion_hits_the_cache(self, batch_client):
+        problems = _batch_problems(2, tag="cache digits")
+        first = batch_client.submit_batch(problems)
+        done = batch_client.wait_batch(first["batch_id"], timeout=60)
+        solved = done["counts"]["solved"]
+        second = batch_client.submit_batch(problems)
+        summary = batch_client.wait_batch(second["batch_id"], timeout=60)
+        assert summary["counts"]["cached"] >= min(1, solved)
+        assert summary["counts"]["failed"] == 0
+
+    def test_malformed_line_fails_only_that_item(self, batch_client):
+        lines = [
+            json.dumps(_batch_problems(1)[0]),
+            "{not json",
+            '{"positive": "not a list"}',
+        ]
+        receipt = batch_client.submit_batch(lines)
+        assert receipt["statuses"][1] == "failed"
+        assert receipt["statuses"][2] == "failed"
+        summary = batch_client.wait_batch(receipt["batch_id"], timeout=60)
+        assert summary["counts"]["failed"] == 2
+        page = batch_client.batch_status(receipt["batch_id"])
+        assert "error" in page["items"][1]
+
+    def test_statically_unsatisfiable_item_fails_fast(self, batch_client):
+        contradictory = Problem(
+            "conflict", positive=["abc"], negative=["abc"], budget=5.0
+        ).to_dict()
+        receipt = batch_client.submit_batch([contradictory])
+        assert receipt["statuses"] == ["failed"]
+        page = batch_client.batch_status(receipt["batch_id"])
+        assert "error" in page["items"][0]
+
+    def test_offset_gap_is_conflict(self, batch_client):
+        receipt = batch_client.submit_batch(_batch_problems(1))
+        with pytest.raises(ServiceError) as info:
+            batch_client.submit_batch(
+                _batch_problems(1), batch_id=receipt["batch_id"], offset=5
+            )
+        assert info.value.status == 409
+        assert info.value.code == "bad_offset"
+
+    def test_offset_requires_batch_id(self, batch_client):
+        with pytest.raises(ServiceError) as info:
+            batch_client.submit_batch(_batch_problems(1), offset=1)
+        assert info.value.status == 400
+
+    def test_unknown_batch_404(self, batch_client):
+        with pytest.raises(ServiceError) as info:
+            batch_client.batch_status("e" * 32)
+        assert info.value.status == 404
+        assert info.value.code == "not_found"
+        with pytest.raises(ServiceError) as info:
+            batch_client.submit_batch(_batch_problems(1), batch_id="e" * 32)
+        assert info.value.status == 404
+
+    def test_bad_query_params_400(self, batch_server):
+        host, port = batch_server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/batch?offset=nope",
+            data=b"{}\n",
+            method="POST",
+            headers={"Content-Type": "application/x-ndjson"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_stats_reports_batches(self, batch_client):
+        batch_client.submit_batch(_batch_problems(1, tag="stats digits"))
+        stats = batch_client.stats()
+        assert stats["batches"]["tracked"] >= 1
+        assert "backlog" in stats["batches"]
+
+
+class TestBatchRestartResume:
+    def test_stranded_queued_item_is_reingested(self, tmp_path):
+        # Simulate the server dying mid-batch: build a record on disk with a
+        # queued item and no live claim, then let a fresh state resume it.
+        from repro.service.batch import BatchStore
+
+        batch_dir = tmp_path / "batches"
+        store = BatchStore(batch_dir)
+        record = store.create()
+        problems = _batch_problems(2, tag="restart digits")
+        record.append_item("cached", cache_key="k0", regex="<num>")
+        record.append_item("queued", cache_key="k1")
+        record.save()
+
+        config = ServiceConfig(
+            port=0,
+            workers=2,
+            cache_backend="json",
+            cache_path=str(tmp_path / "cache"),
+            batch_dir=str(batch_dir),
+        )
+        state = ServiceState(config)
+        try:
+            body = ("\n".join(json.dumps(p) for p in problems) + "\n").encode()
+            status, payload = state.handle_batch_submit(body, record.batch_id, 0)
+            assert status == 202
+            assert payload["skipped"] == 1  # the cached item
+            assert payload["ingested"] == 1  # the stranded queued one
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                code, page = state.handle_batch_get(record.batch_id)
+                assert code == 200
+                if page["done"]:
+                    break
+                time.sleep(0.05)
+            assert page["done"]
+            assert page["counts"]["failed"] == 0
+            assert page["items"][0]["status"] == "cached"
+            assert page["items"][1]["status"] in ("solved", "unsolved")
+        finally:
+            state.close()
+
+
+class TestCorpusIngestCliResume:
+    def test_resume_reingests_stranded_queued_items(
+        self, batch_server, tmp_path, capsys
+    ):
+        # Client finished uploading, server died before solving: the client
+        # state file says "everything sent", but the reloaded record has a
+        # queued item with no job behind it.  `corpus ingest` must notice
+        # and re-POST the stream so the stranded item actually solves.
+        from repro.cli import main
+
+        host, port = batch_server.server_address[:2]
+        base = f"http://{host}:{port}"
+        problems = _batch_problems(2, tag="cli restart digits")
+
+        record = batch_server.state.batches.create()
+        record.append_item("cached", cache_key="k0", regex="<num>")
+        record.append_item("queued", cache_key="k1")  # stranded: not live
+        record.save()
+
+        source = tmp_path / "problems.ndjson"
+        source.write_text("\n".join(json.dumps(p) for p in problems) + "\n")
+        state_path = tmp_path / "ingest-state.json"
+        state_path.write_text(
+            json.dumps(
+                {"batch_id": record.batch_id, "offset": 2, "server": base}
+            )
+        )
+
+        code = main(
+            [
+                "corpus",
+                "ingest",
+                str(source),
+                "--server",
+                base,
+                "--state",
+                str(state_path),
+                "--wait-timeout",
+                "60",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "1 stranded item(s)" in captured.err
+        assert record.status_of(0) == "cached"  # terminal item untouched
+        assert record.status_of(1) in ("solved", "unsolved")

@@ -11,6 +11,10 @@ The fixtures under ``tests/fixtures/`` are committed renderings of the
   backward-compat test proves new code still reads it, with the new fields
   taking their documented defaults — so future telemetry fields must stay
   optional-with-default too.
+* ``batch_v1.json`` — a persisted :class:`~repro.service.BatchRecord` as the
+  batch-ingestion endpoint writes it.  Records outlive server processes (that
+  is their whole point), so the on-disk shape is a compatibility surface just
+  like the HTTP wire format.
 """
 
 import json
@@ -99,3 +103,48 @@ class TestBackwardCompat:
         current = RunReport.from_dict(legacy).to_dict()
         assert set(legacy) <= set(current)
         assert set(legacy["sketches"][0]) <= set(current["sketches"][0])
+
+
+class TestBatchRecordGolden:
+    def test_round_trip_preserves_every_field(self):
+        from repro.service.batch import BatchRecord
+
+        data = _load("batch_v1.json")
+        record = BatchRecord.load(FIXTURES / "batch_v1.json")
+        assert record.to_dict() == data
+
+    def test_known_field_values(self):
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord.load(FIXTURES / "batch_v1.json")
+        assert record.batch_id == "9f1c2a3b4d5e6f708192a3b4c5d6e7f8"
+        assert len(record) == 5
+        assert record.status_of(0) == "solved"
+        assert record.items[1]["regex"] == "Repeat(<num>,4)"
+        assert record.items[3]["error"].startswith("line 4")
+        counts = record.counts()
+        assert counts == {
+            "queued": 1,
+            "solved": 1,
+            "unsolved": 1,
+            "failed": 1,
+            "cached": 1,
+        }
+        assert not record.done  # item 4 is still queued
+
+    def test_statuses_stay_known(self):
+        # Every status in the fixture must remain a recognised lifecycle
+        # state: renaming one orphans persisted records.
+        from repro.service.batch import ITEM_STATUSES, BatchRecord
+
+        record = BatchRecord.load(FIXTURES / "batch_v1.json")
+        assert {item["status"] for item in record.items} <= set(ITEM_STATUSES)
+
+    def test_loaded_record_resumes_stranded_items(self):
+        # The queued item has no live claim after a load — exactly the
+        # server-restart path — so a resume POST must re-ingest it.
+        from repro.service.batch import BatchRecord
+
+        record = BatchRecord.load(FIXTURES / "batch_v1.json")
+        assert record.needs_reingest(4)
+        assert not record.needs_reingest(0)
