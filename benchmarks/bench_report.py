@@ -8,7 +8,9 @@ incremental re-solving), the full Section-2 motivating-example sketch
 completion, a ``service_roundtrip`` workload that solves one problem over
 the live HTTP service cold and then from the persistent result cache, and a
 ``corpus_throughput`` workload that bulk-ingests problems generated from the
-committed sample corpus through ``POST /v1/batch`` cold and warm, all
+committed sample corpus through ``POST /v1/batch`` cold and warm, and a
+``fault_overhead`` workload that pins the cost of the dormant fault-injection
+points left in the service hot paths (see ``repro.faults``), all
 without requiring pytest-benchmark.  The numbers are written to a JSON report
 (``BENCH_engine.json`` at the repository root by default).
 
@@ -364,6 +366,71 @@ def bench_corpus_throughput(repeats: int, entries: int = 14) -> dict:
     }
 
 
+def bench_fault_overhead(repeats: int, inner: int = 100_000) -> dict:
+    """Cost of the disabled fault points left compiled into the hot paths.
+
+    The ``repro.faults`` points (``cache.read``, ``batch.persist``, ...) sit
+    permanently in the service code; when no ``REPRO_FAULTS`` plan is armed
+    they must be a single global load + ``None`` check.  This workload pins
+    that down from both ends: ``seconds_per_call`` times the disabled
+    ``fault_point`` in a tight loop, ``calls_per_cached_request`` counts how
+    many points an in-process cached ``/v1/solve`` hit actually traverses
+    (measured with an armed-but-silent ``seed=0`` plan, which counts calls
+    without ever firing), and ``overhead_fraction`` is their product over the
+    cached-hit latency — the share of the service's fastest request spent on
+    dormant instrumentation.  CI asserts it stays under 1%.
+    """
+    import tempfile
+
+    from repro.faults import configure, fault_point
+    from repro.service import ServiceConfig, ServiceState
+
+    configure(None)
+
+    def run():
+        for _ in range(inner):
+            fault_point("cache.read")
+        return {"calls_per_iteration": inner}
+
+    entry = _time_workload(run, repeats)
+    per_call = entry["seconds_min"] / inner
+
+    body = json.dumps(_SERVICE_PROBLEM).encode()
+    with tempfile.TemporaryDirectory() as tmp:
+        state = ServiceState(
+            ServiceConfig(workers=1, cache_backend="json", cache_path=tmp)
+        )
+        try:
+            status, cold = state.handle_solve(body)
+            assert status == 200 and cold["provenance"] == "engine", (status, cold)
+            cached_times = []
+            for _ in range(max(repeats, 3)):
+                start = time.perf_counter()
+                status, hit = state.handle_solve(body)
+                cached_times.append(time.perf_counter() - start)
+                assert status == 200 and hit["provenance"] == "cache", (status, hit)
+            plan = configure("seed=0")  # armed but silent: counts traversals
+            status, hit = state.handle_solve(body)
+            assert status == 200 and hit["provenance"] == "cache", (status, hit)
+            calls = sum(
+                point["calls"] for point in plan.stats()["points"].values()
+            )
+            assert plan.total_fired() == 0
+        finally:
+            configure(None)
+            state.close()
+    cached_seconds = min(cached_times)
+    entry.update(
+        {
+            "seconds_per_call": per_call,
+            "calls_per_cached_request": calls,
+            "cached_request_seconds": cached_seconds,
+            "overhead_fraction": (calls * per_call) / cached_seconds,
+        }
+    )
+    return entry
+
+
 def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
     workloads = {
         "approximation_check": bench_approximation_check(repeats),
@@ -373,6 +440,7 @@ def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
         "static_prune": bench_static_prune(repeats),
         "service_roundtrip": bench_service_roundtrip(repeats),
         "corpus_throughput": bench_corpus_throughput(repeats),
+        "fault_overhead": bench_fault_overhead(repeats),
     }
     supports_modes = "evaluator" in inspect.signature(Examples.__init__).parameters
     if supports_modes:

@@ -245,6 +245,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="reject problems whose budget exceeds this many seconds",
     )
     serve.add_argument(
+        "--watchdog-grace", type=float, default=10.0,
+        help="seconds past a job's budget before the watchdog fails it as wedged",
+    )
+    serve.add_argument(
+        "--faults", default=None,
+        help="fault-injection spec (REPRO_FAULTS grammar) for chaos runs",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="do not log one line per request"
     )
 
@@ -278,6 +286,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "--health", action="store_true", help="print GET /v1/healthz and exit"
+    )
+    client.add_argument(
+        "--retries", type=int, default=3,
+        help="retry budget for transient failures (0 disables retrying)",
     )
     return parser
 
@@ -621,6 +633,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache_max_entries=args.cache_max_entries,
         max_budget=args.max_budget,
         log_requests=not args.quiet,
+        watchdog_grace=args.watchdog_grace,
+        faults=args.faults,
     )
     return serve(config)
 
@@ -628,7 +642,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 def _run_client(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, retries=args.retries)
     if args.health:
         print(json.dumps(client.healthz(), indent=2))
         return 0

@@ -1,0 +1,42 @@
+"""Deterministic, seeded fault injection for the service layer.
+
+``repro.faults`` is how the serving stack is exercised under failure before
+failure finds it in production: named fault points embedded in the hot paths
+of :mod:`repro.service` (``cache.read``, ``cache.write``, ``batch.persist``,
+``batch.load``, ``batch.ingest``, ``pool.job``, ``client.request``,
+``server.response``) fire on a seeded, replayable schedule described by the
+``REPRO_FAULTS`` environment variable — and compile down to a global load
+plus a ``None`` check when disabled.
+
+See ``docs/operations.md`` for the spec grammar, the failure-mode table, and
+how to run a chaos schedule locally.
+"""
+
+from repro.faults.injector import (
+    ENV_VAR,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    configure,
+    configure_from_env,
+    fault_point,
+    fault_stats,
+    faults_active,
+)
+from repro.faults.spec import FaultRule, FaultSpec, FaultSpecError, parse_spec
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectedFault",
+    "active_plan",
+    "configure",
+    "configure_from_env",
+    "fault_point",
+    "fault_stats",
+    "faults_active",
+    "parse_spec",
+]

@@ -26,13 +26,14 @@ from repro.service.batch import (
 )
 from repro.service.cache import (
     CACHE_BACKENDS,
+    CacheCorruption,
     JsonDirCache,
     NullCache,
     ResultCache,
     SqliteCache,
     make_cache,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import JobLostError, ServiceClient, ServiceError
 from repro.service.handlers import ServiceConfig, ServiceState
 from repro.service.pool import Job, PoolSaturated, WorkerPool
 from repro.service.server import RegelHTTPServer, serve, start_server
@@ -43,11 +44,13 @@ __all__ = [
     "BatchRecord",
     "BatchStore",
     "CACHE_BACKENDS",
+    "CacheCorruption",
     "JsonDirCache",
     "NullCache",
     "ResultCache",
     "SqliteCache",
     "make_cache",
+    "JobLostError",
     "ServiceClient",
     "ServiceError",
     "ServiceConfig",

@@ -16,6 +16,18 @@ server restarts:
 The same record format backs the ``regel batch --record`` CLI path, so a
 local run and a service run of one corpus file produce interchangeable
 artifacts.
+
+Persistence is belt *and* braces.  The snapshot file is written atomically
+(write-then-rename), and every item transition is first appended to a
+sidecar **journal** (``<batch_id>.journal``, one JSON object per line with a
+monotonic ``seq``).  The snapshot records the highest journal ``seq`` it
+contains, so :meth:`BatchRecord.load` replays only the journal suffix the
+snapshot missed — and when the snapshot itself is torn, truncated, or gone,
+the whole record is rebuilt from the journal.  A torn *trailing* journal
+line (the one a crash interrupted) is skipped; everything before it is
+intact because lines are append-only.  The ``batch.persist`` /
+``batch.load`` fault points (:mod:`repro.faults`) let the chaos suite kill
+these writes mid-flight and assert the reopen is clean.
 """
 
 from __future__ import annotations
@@ -27,6 +39,8 @@ import time
 import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+from repro.faults import fault_point
 
 #: Per-item lifecycle states.
 ITEM_QUEUED = "queued"
@@ -45,7 +59,39 @@ def _atomic_write(path: Path, payload: Dict[str, Any]) -> None:
     """Write-then-rename so a crash never leaves a half-written record."""
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(payload, indent=0, sort_keys=True), encoding="utf-8")
+    # The commit point: a crash (or injected fault) here leaves the previous
+    # snapshot untouched — readers see old-and-complete, never torn.
+    fault_point("batch.persist")
     os.replace(tmp, path)
+
+
+def _journal_path(path: Path) -> Path:
+    return path.with_suffix(".journal")
+
+
+def _read_journal(path: Path) -> List[Dict[str, Any]]:
+    """Parse journal entries in order; a torn trailing line ends the read.
+
+    Append-only writing means corruption can only live at the tail (the line
+    a crash interrupted), so stopping at the first undecodable line keeps
+    every completed entry.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    entries: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            break
+        if isinstance(entry, dict) and isinstance(entry.get("seq"), int):
+            entries.append(entry)
+    return entries
 
 
 class BatchRecord:
@@ -63,9 +109,45 @@ class BatchRecord:
         #: persisted: after a restart nothing is live, which is exactly what
         #: makes stranded ``queued`` items eligible for re-ingestion.
         self.live: set[int] = set()
+        #: Highest journal sequence number written (or replayed) so far.
+        self.journal_seq = 0
+        #: Journal / snapshot writes absorbed after backend failure.
+        self.journal_errors = 0
+        self.persist_errors = 0
+        #: True when :meth:`load` had to replay the journal (snapshot stale,
+        #: torn, or missing) — surfaced via :class:`BatchStore` stats.
+        self.recovered = False
         self._lock = threading.RLock()
 
     # -- mutation ------------------------------------------------------------
+
+    def _journal_write(self, index: int, item: Dict[str, Any]) -> None:
+        """Append one write-ahead entry (caller holds ``self._lock``).
+
+        Runs *before* the snapshot save, so any transition the snapshot
+        loses to a crash is still recoverable.  Journal failures are counted
+        and absorbed: the snapshot path is still there, and the record must
+        never fail an ingest over its own bookkeeping.
+        """
+        if self.path is None:
+            return
+        journal = _journal_path(Path(self.path))
+        self.journal_seq += 1
+        lines = ""
+        if self.journal_seq == 1 and not journal.exists():
+            lines += json.dumps({"seq": 0, "batch_id": self.batch_id}) + "\n"
+        lines += (
+            json.dumps(
+                {"seq": self.journal_seq, "index": index, "item": item},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        try:
+            with open(journal, "a", encoding="utf-8") as handle:
+                handle.write(lines)
+        except OSError:
+            self.journal_errors += 1
 
     def append_item(self, status: str, cache_key: str = "", **extra: Any) -> int:
         """Add the next item; returns its index."""
@@ -74,6 +156,7 @@ class BatchRecord:
             item = {"index": index, "status": status, "cache_key": cache_key}
             item.update({k: v for k, v in extra.items() if v is not None})
             self.items.append(item)
+            self._journal_write(index, dict(item))
             self.updated = time.time()
             return index
 
@@ -84,6 +167,7 @@ class BatchRecord:
             item.update({k: v for k, v in extra.items() if v is not None})
             if status in TERMINAL_ITEM_STATUSES:
                 self.live.discard(index)
+            self._journal_write(index, dict(item))
             self.updated = time.time()
 
     def mark_live(self, index: int) -> None:
@@ -158,25 +242,81 @@ class BatchRecord:
                 "batch_id": self.batch_id,
                 "created": self.created,
                 "updated": self.updated,
+                "journal_seq": self.journal_seq,
                 "items": [dict(item) for item in self.items],
             }
 
     def save(self, path: Optional[Path] = None) -> None:
+        """Snapshot to disk; failures are absorbed (the journal has the data)."""
         target = path or self.path
         if target is None:
             return
         with self._lock:
             payload = self.to_dict()
-        _atomic_write(Path(target), payload)
+        try:
+            _atomic_write(Path(target), payload)
+        except OSError:
+            with self._lock:
+                self.persist_errors += 1
 
     @classmethod
     def load(cls, path: "Path | str") -> "BatchRecord":
+        """Load a record: snapshot + journal-suffix replay.
+
+        A torn or missing snapshot falls back to a full journal rebuild;
+        only when *both* are unusable does this raise (the caller answers
+        404).  ``record.recovered`` is True whenever the journal contributed
+        state the snapshot lacked.
+        """
         path = Path(path)
-        data = json.loads(path.read_text(encoding="utf-8"))
-        record = cls(batch_id=data["batch_id"], path=path)
-        record.created = data.get("created", record.created)
-        record.updated = data.get("updated", record.updated)
-        record.items = [dict(item) for item in data.get("items", [])]
+        fault_point("batch.load")
+        record: Optional["BatchRecord"] = None
+        error: Optional[Exception] = None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            record = cls(batch_id=data["batch_id"], path=path)
+            record.created = data.get("created", record.created)
+            record.updated = data.get("updated", record.updated)
+            record.items = [dict(item) for item in data.get("items", [])]
+            seq = data.get("journal_seq", 0)
+            record.journal_seq = seq if isinstance(seq, int) else 0
+        except (ValueError, OSError, KeyError, TypeError) as exc:
+            record, error = None, exc
+
+        entries = _read_journal(_journal_path(path))
+        if record is None:
+            if not entries:
+                raise error if error is not None else ValueError(f"no record at {path}")
+            batch_id = path.stem
+            for entry in entries:
+                if entry["seq"] == 0 and isinstance(entry.get("batch_id"), str):
+                    batch_id = entry["batch_id"]
+                    break
+            record = cls(batch_id=batch_id, path=path)
+            record.recovered = True
+
+        replayed = 0
+        for entry in entries:
+            seq = entry["seq"]
+            if seq <= record.journal_seq:
+                continue
+            index = entry.get("index")
+            item = entry.get("item")
+            if not isinstance(index, int) or not isinstance(item, dict):
+                continue
+            # Each entry carries the item's full state, so later-wins replay
+            # is just assignment; gaps (from absorbed journal errors) only
+            # need queued placeholders to keep list position == index.
+            while len(record.items) <= index:
+                filler = len(record.items)
+                record.items.append(
+                    {"index": filler, "status": ITEM_QUEUED, "cache_key": ""}
+                )
+            record.items[index] = dict(item)
+            record.journal_seq = max(record.journal_seq, seq)
+            replayed += 1
+        if replayed:
+            record.recovered = True
         return record
 
 
@@ -192,6 +332,10 @@ class BatchStore:
         self.directory = Path(directory)
         self._records: Dict[str, BatchRecord] = {}
         self._lock = threading.Lock()
+        #: Records rebuilt (fully or partially) from their journal on load.
+        self.recovered = 0
+        #: Records whose snapshot *and* journal were unusable (answered 404).
+        self.load_errors = 0
 
     def _path_for(self, batch_id: str) -> Path:
         return self.directory / f"{batch_id}.json"
@@ -211,16 +355,30 @@ class BatchStore:
         if record is not None:
             return record
         path = self._path_for(batch_id)
-        if not path.is_file():
+        # A journal without its snapshot (crash between journal append and
+        # first save) is still a loadable record.
+        if not path.is_file() and not _journal_path(path).is_file():
             return None
         try:
             record = BatchRecord.load(path)
-        except (ValueError, OSError, KeyError):
+        except (ValueError, OSError, KeyError, TypeError):
+            with self._lock:
+                self.load_errors += 1
             return None
         with self._lock:
+            if record.recovered:
+                self.recovered += 1
             # Lost the race to another loader: keep the first one.
             return self._records.setdefault(batch_id, record)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "records": len(self._records),
+                "recovered": self.recovered,
+                "load_errors": self.load_errors,
+            }

@@ -24,6 +24,17 @@ stored: cancelled runs answer a different question, and an
 unsolved-within-budget outcome depends on machine load at the time — caching
 it would permanently poison the entry for a problem that a calmer retry
 would solve.
+
+The cache is an optimisation, so it is never allowed to become a liability:
+a **corrupt entry** (torn write, bit rot, hand-edited file) is quarantined —
+removed from the store, counted in ``quarantined`` — and answered as a miss;
+a **failing backend** (disk gone, database locked up) degrades instead of
+erroring: after ``breaker_threshold`` consecutive backend failures a circuit
+breaker opens and every operation short-circuits to the miss/skip path (the
+semantics of :class:`NullCache`) until a ``breaker_cooldown``-spaced probe
+succeeds again.  ``/v1/healthz`` reports the open breaker as ``degraded``.
+The deterministic chaos suite drives both paths through the
+``cache.read`` / ``cache.write`` fault points (:mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -36,19 +47,46 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.faults import fault_point
+
+
+class CacheCorruption(Exception):
+    """A stored entry failed to decode; the backend has quarantined it."""
+
 
 class ResultCache:
-    """Base class: counter bookkeeping shared by every backend."""
+    """Base class: counters, circuit breaker, and degradation shared by backends."""
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
         self.max_entries = max_entries
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        #: Corrupt entries detected, removed, and answered as misses.
+        self.quarantined = 0
+        #: Backend failures absorbed on the read / write path.
+        self.read_errors = 0
+        self.write_errors = 0
+        #: Circuit-breaker state (all mutated under ``self._lock``).  Error
+        #: streaks are tracked per path: a cache whose reads always fail is
+        #: degraded even while its write-throughs keep succeeding, so a
+        #: write success must not reset the read streak (or vice versa).
+        self.trips = 0
+        self._consecutive_errors = {"read": 0, "write": 0}
+        self._opened_at: Optional[float] = None
 
     # Backend hooks ----------------------------------------------------------
 
@@ -62,6 +100,9 @@ class ResultCache:
         """Drop least-recently-used entries down to the bound; return count."""
         raise NotImplementedError
 
+    def _recover_save(self) -> None:
+        """Undo a half-done save after a write failure (backend-specific)."""
+
     def _low_water(self) -> int:
         """Eviction target once over the bound: 90% of ``max_entries``.
 
@@ -74,12 +115,64 @@ class ResultCache:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    # Circuit breaker (callers hold self._lock) ------------------------------
+
+    def _breaker_open(self) -> bool:
+        """True while the backend is benched; cooldown expiry allows a probe."""
+        if self._opened_at is None:
+            return False
+        return time.monotonic() - self._opened_at < self.breaker_cooldown
+
+    def _note_error(self, path: str) -> None:
+        self._consecutive_errors[path] += 1
+        if self._opened_at is not None:
+            # A half-open probe failed: re-arm the cooldown.
+            self._opened_at = time.monotonic()
+        elif self._consecutive_errors[path] >= self.breaker_threshold:
+            self.trips += 1
+            self._opened_at = time.monotonic()
+
+    def _note_ok(self, path: str) -> None:
+        self._consecutive_errors[path] = 0
+        if self._opened_at is not None and not any(
+            streak >= self.breaker_threshold
+            for streak in self._consecutive_errors.values()
+        ):
+            # A half-open probe succeeded and no other path is still past
+            # the threshold: close the breaker.
+            self._opened_at = None
+
     # Public API -------------------------------------------------------------
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached report dict for ``key``, or None (counts hit/miss)."""
+        """The cached report for ``key``, or None — never an exception.
+
+        Corrupt entries count as ``quarantined`` misses; backend failures as
+        ``read_errors`` misses (feeding the breaker).  A malformed *key* is a
+        caller bug and still raises :class:`ValueError`.
+        """
         with self._lock:
-            report = self._load(key)
+            if self._breaker_open():
+                self.misses += 1
+                return None
+            try:
+                fault_point("cache.read")
+                report = self._load(key)
+            except ValueError:
+                raise
+            except CacheCorruption:
+                # The backend worked — it detected and removed the bad entry
+                # itself — so corruption never counts against the breaker.
+                self.quarantined += 1
+                self.misses += 1
+                self._note_ok("read")
+                return None
+            except Exception:
+                self.read_errors += 1
+                self.misses += 1
+                self._note_error("read")
+                return None
+            self._note_ok("read")
             if report is None:
                 self.misses += 1
             else:
@@ -87,22 +180,60 @@ class ResultCache:
             return report
 
     def put(self, key: str, report: Dict[str, Any]) -> None:
-        """Store a completed report, evicting LRU entries past the bound."""
+        """Store a completed report; a failing backend degrades to a no-op.
+
+        The cache is write-through from the pool's completion hook — a lost
+        store costs a future re-solve, never correctness — so write failures
+        are absorbed (counted, breaker-fed), not raised.
+        """
         with self._lock:
-            self._save(key, report)
-            self.stores += 1
-            self.evictions += self._evict_lru()
+            if self._breaker_open():
+                return
+            try:
+                self._save(key, report)
+                self.stores += 1
+                self.evictions += self._evict_lru()
+            except ValueError:
+                raise
+            except Exception:
+                self.write_errors += 1
+                self._note_error("write")
+                try:
+                    self._recover_save()
+                except Exception:
+                    pass
+                return
+            self._note_ok("write")
+
+    def healthy(self) -> bool:
+        """False while the circuit breaker is open (``/v1/healthz: degraded``)."""
+        with self._lock:
+            return not self._breaker_open()
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
+            try:
+                entries = len(self)
+            except Exception:
+                entries = -1  # backend down; the breaker section says why
             return {
                 "backend": type(self).BACKEND,
-                "entries": len(self),
+                "entries": entries,
                 "max_entries": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
                 "evictions": self.evictions,
+                "quarantined": self.quarantined,
+                "read_errors": self.read_errors,
+                "write_errors": self.write_errors,
+                "breaker": {
+                    "state": "open" if self._breaker_open() else "closed",
+                    "trips": self.trips,
+                    "consecutive_errors": max(self._consecutive_errors.values()),
+                    "threshold": self.breaker_threshold,
+                    "cooldown_seconds": self.breaker_cooldown,
+                },
             }
 
     def close(self) -> None:  # pragma: no cover - trivial default
@@ -134,8 +265,8 @@ class JsonDirCache(ResultCache):
 
     BACKEND = "json"
 
-    def __init__(self, path: "str | Path", max_entries: int = 1024):
-        super().__init__(max_entries)
+    def __init__(self, path: "str | Path", max_entries: int = 1024, **kwargs: Any):
+        super().__init__(max_entries, **kwargs)
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
 
@@ -145,20 +276,45 @@ class JsonDirCache(ResultCache):
             raise ValueError(f"malformed cache key: {key!r}")
         return self.path / f"{key}.json"
 
+    def _quarantine(self, entry: Path) -> None:
+        """Move a corrupt entry aside (``.quarantined`` never matches the
+        ``*.json`` globs, so it is out of the store but kept for inspection)."""
+        try:
+            os.replace(entry, entry.with_suffix(".quarantined"))
+        except OSError:
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+
     def _load(self, key: str) -> Optional[Dict[str, Any]]:
         entry = self._entry(key)
         try:
-            report = json.loads(entry.read_text(encoding="utf-8"))
+            text = entry.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None  # a plain miss, not a backend failure
+        try:
+            report = json.loads(text)
+        except ValueError:
+            report = None
+        if not isinstance(report, dict):
+            # Torn write or external corruption: quarantine and miss.
+            self._quarantine(entry)
+            raise CacheCorruption(key)
+        try:
             os.utime(entry)  # refresh recency; entry may vanish externally
-        except (OSError, json.JSONDecodeError):
-            return None
+        except OSError:
+            pass
         return report
 
     def _save(self, key: str, report: Dict[str, Any]) -> None:
         entry = self._entry(key)
         tmp = entry.with_suffix(".tmp")
         tmp.write_text(json.dumps(report), encoding="utf-8")
-        os.replace(tmp, entry)  # atomic: readers never see a partial file
+        # The commit point: a crash (or injected fault) before the rename
+        # leaves only the ``.tmp`` debris — readers never see a torn entry.
+        fault_point("cache.write")
+        os.replace(tmp, entry)
 
     def _evict_lru(self) -> int:
         entries = list(self.path.glob("*.json"))
@@ -184,8 +340,8 @@ class SqliteCache(ResultCache):
 
     BACKEND = "sqlite"
 
-    def __init__(self, path: "str | Path", max_entries: int = 1024):
-        super().__init__(max_entries)
+    def __init__(self, path: "str | Path", max_entries: int = 1024, **kwargs: Any):
+        super().__init__(max_entries, **kwargs)
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # The service's handler threads share this connection; every access
@@ -210,13 +366,22 @@ class SqliteCache(ResultCache):
         ).fetchone()
         if row is None:
             return None
+        try:
+            report = json.loads(row[0])
+        except ValueError:
+            report = None
+        if not isinstance(report, dict):
+            # Quarantine = delete the one bad row; the table itself is fine.
+            self._db.execute("DELETE FROM entries WHERE key = ?", (key,))
+            self._db.commit()
+            raise CacheCorruption(key)
         self._db.execute(
             "UPDATE entries SET last_used = ?, hit_count = hit_count + 1"
             " WHERE key = ?",
             (time.time(), key),
         )
         self._db.commit()
-        return json.loads(row[0])
+        return report
 
     def _save(self, key: str, report: Dict[str, Any]) -> None:
         now = time.time()
@@ -227,7 +392,13 @@ class SqliteCache(ResultCache):
             " last_used = excluded.last_used",
             (key, json.dumps(report), now, now),
         )
+        # The commit point: a crash (or injected fault) here must roll the
+        # pending insert back, or the *next* commit would smuggle it in.
+        fault_point("cache.write")
         self._db.commit()
+
+    def _recover_save(self) -> None:
+        self._db.rollback()
 
     def _evict_lru(self) -> int:
         (count,) = self._db.execute("SELECT COUNT(*) FROM entries").fetchone()

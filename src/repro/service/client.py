@@ -6,14 +6,29 @@ dependency is :mod:`urllib.request`.  Server-side errors (the uniform
 with the parsed code, so callers can branch on ``exc.code == "saturated"``
 rather than regexing messages.
 
+The transport retries transient failures with capped exponential backoff and
+full jitter: connection-level errors, 429 back-pressure (honouring
+``Retry-After``), and 5xx responses that don't carry a deterministic engine
+error.  Retrying a *solve* POST is safe even though POST is nominally
+unsafe, because the server keys work by the problem's content hash
+(``cache_key``) and coalesces duplicates — an identical re-POST joins the
+in-flight job or hits the cache, it never double-solves.  The one genuinely
+non-idempotent request, batch *creation* (no ``batch_id`` yet), is never
+retried after it may have reached the server.
+
 ``iter_solutions`` mirrors :meth:`repro.api.Session.iter_solutions` over the
 wire: it submits an async job and polls ``GET /v1/jobs/{id}``, yielding each
-new solution as the server discovers it.
+new solution as the server discovers it.  Jobs live in server memory, so a
+server restart forgets them; a 404 on a job the client *knows* it created
+surfaces as :class:`JobLostError` — resubmit the problem (cheap when it
+already solved: the persistent result cache answers instantly).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -21,6 +36,7 @@ from typing import Any, Dict, Iterator, Optional
 
 from repro.api.problem import Problem
 from repro.api.results import RunReport, Solution
+from repro.faults import fault_point
 from repro.service.wire import JOB_CANCELLED, JOB_DONE, JOB_FAILED
 
 
@@ -38,12 +54,58 @@ class ServiceError(OSError):
         self.payload = payload or {}
 
 
-class ServiceClient:
-    """Typed access to one running ``regel serve`` instance."""
+class JobLostError(ServiceError):
+    """A job this client created vanished server-side (404 while polling).
 
-    def __init__(self, base_url: str, timeout: float = 300.0):
+    Jobs are in-memory; a server restart forgets them.  The problem is not
+    lost — resubmit it: if it completed before the restart the persistent
+    result cache answers instantly, otherwise it simply solves again.
+    """
+
+    def __init__(self, job_id: str, payload: Optional[dict] = None):
+        super().__init__(
+            404,
+            "job_lost",
+            f"job {job_id} no longer exists (server restarted?); "
+            "resubmit the problem — completed work is served from the result cache",
+            payload=payload,
+        )
+        self.job_id = job_id
+
+
+#: 5xx envelope codes that are deterministic outcomes of *this* problem, not
+#: transient server trouble — retrying would just re-fail identically.
+NON_RETRYABLE_5XX_CODES = frozenset({"engine_error", "deadline_exceeded", "cancelled"})
+
+
+class ServiceClient:
+    """Typed access to one running ``regel serve`` instance.
+
+    ``retries`` bounds *additional* attempts per request (0 disables
+    retrying).  Backoff sleeps ``backoff_base * 2**attempt`` capped at
+    ``backoff_cap``, with full jitter; ``retry_seed`` pins the jitter for
+    deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 300.0,
+        retries: int = 3,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        retry_seed: Optional[int] = None,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._retry_rng = random.Random(retry_seed)
+        #: Total retry attempts performed over this client's lifetime.
+        self.retries_performed = 0
 
     # -- transport -----------------------------------------------------------
 
@@ -53,34 +115,97 @@ class ServiceClient:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         return self._request_raw(method, path, body, "application/json")
 
+    @staticmethod
+    def _parse_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            parsed = json.loads(exc.read().decode("utf-8"))
+            error = parsed.get("error", {})
+        except (ValueError, UnicodeDecodeError):
+            parsed, error = {}, {}
+        return ServiceError(
+            exc.code,
+            error.get("code", "http_error"),
+            error.get("message", str(exc)),
+            payload=parsed,
+        )
+
+    @staticmethod
+    def _retry_after(exc: urllib.error.HTTPError) -> Optional[float]:
+        value = exc.headers.get("Retry-After") if exc.headers else None
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None
+
+    def _retryable_response(self, error: ServiceError, idempotent: bool) -> bool:
+        if error.status == 429:
+            # Back-pressure is rejected *before* any processing, so retrying
+            # is safe even for non-idempotent requests.
+            return True
+        if error.status >= 500 and idempotent:
+            return error.code not in NON_RETRYABLE_5XX_CODES
+        return False
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        base = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay = base * (0.5 + self._retry_rng.random() * 0.5)  # full-ish jitter
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        # Retry-After is honoured up to the cap: the client would rather
+        # re-ask (and get another 429) than stall unboundedly on one header.
+        return min(delay, max(self.backoff_cap, self.backoff_base))
+
     def _request_raw(
         self,
         method: str,
         path: str,
         body: Optional[bytes],
         content_type: str = "application/json",
+        idempotent: bool = True,
     ) -> Dict[str, Any]:
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": content_type},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        attempt = 0
+        while True:
+            delay: float
             try:
-                parsed = json.loads(exc.read().decode("utf-8"))
-                error = parsed.get("error", {})
-            except (ValueError, UnicodeDecodeError):
-                parsed, error = {}, {}
-            raise ServiceError(
-                exc.code,
-                error.get("code", "http_error"),
-                error.get("message", str(exc)),
-                payload=parsed,
-            ) from None
+                # Chaos hook: an injected ``client.request`` fault is a
+                # connection dying under the request — the retry loop below
+                # must absorb it exactly like a real reset.
+                fault_point("client.request")
+                request = urllib.request.Request(
+                    self.base_url + path,
+                    data=body,
+                    method=method,
+                    headers={"Content-Type": content_type},
+                )
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                error = self._parse_error(exc)
+                if attempt >= self.retries or not self._retryable_response(
+                    error, idempotent
+                ):
+                    raise error from None
+                delay = self._backoff(attempt, self._retry_after(exc))
+            except (
+                urllib.error.URLError,
+                ConnectionError,
+                TimeoutError,
+                http.client.HTTPException,
+            ) as exc:
+                # Connection-level failure: the server may or may not have
+                # processed the request.  Retry when the request is
+                # idempotent, or when it provably never arrived (connection
+                # refused happens before any byte is sent).
+                reason = getattr(exc, "reason", exc)
+                never_sent = isinstance(reason, ConnectionRefusedError)
+                if attempt >= self.retries or not (idempotent or never_sent):
+                    raise
+                delay = self._backoff(attempt, None)
+            attempt += 1
+            self.retries_performed += 1
+            time.sleep(delay)
 
     # -- endpoints -----------------------------------------------------------
 
@@ -142,7 +267,12 @@ class ServiceClient:
         if query:
             path += "?" + "&".join(query)
         body = ("\n".join(rendered) + "\n").encode("utf-8")
-        return self._request_raw("POST", path, body, "application/x-ndjson")
+        # Creating a batch (no id yet) is the one non-idempotent request the
+        # client makes: a blind retry could register the batch twice.  A
+        # *resume* names its batch id, so re-sending it is always safe.
+        return self._request_raw(
+            "POST", path, body, "application/x-ndjson", idempotent=batch_id is not None
+        )
 
     def batch_status(
         self, batch_id: str, offset: int = 0, limit: int = 100
@@ -209,7 +339,15 @@ class ServiceClient:
             if time.monotonic() > deadline:
                 raise ServiceError(504, "client_timeout", f"job {job_id} timed out")
             time.sleep(poll_interval)
-            record = self.job(job_id)
+            try:
+                record = self.job(job_id)
+            except ServiceError as exc:
+                if exc.status == 404 and exc.code == "not_found":
+                    # The job existed — we created it — so a 404 here means
+                    # the server lost it (restart).  Surface that as its own
+                    # type; "not found" would read as a caller bug.
+                    raise JobLostError(job_id, payload=exc.payload) from None
+                raise
 
     #: Final job record of the most recent :meth:`iter_solutions` run.
     last_job: Optional[Dict[str, Any]] = None

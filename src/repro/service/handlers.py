@@ -37,6 +37,7 @@ from repro.api.problem import Problem
 from repro.api.providers import NlSketchProvider
 from repro.api.schedulers import SCHEDULERS, make_scheduler
 from repro.api.session import Session
+from repro.faults import fault_point, fault_stats
 from repro.service.batch import (
     ITEM_CACHED,
     ITEM_FAILED,
@@ -94,6 +95,13 @@ class ServiceConfig:
     #: Directory for persistent batch records; None derives a sibling of the
     #: cache path, so one ``--cache-path`` flag relocates both artifacts.
     batch_dir: Optional[str] = None
+    #: Extra wall-clock past a job's budget before the pool watchdog settles
+    #: it as failed (the worker is presumed wedged).
+    watchdog_grace: float = 10.0
+    watchdog_interval: float = 0.25
+    #: Fault-injection spec (``REPRO_FAULTS`` grammar) armed at serve time;
+    #: None leaves whatever the environment configured.
+    faults: Optional[str] = None
 
     def resolved_cache_path(self) -> str:
         if self.cache_path is not None:
@@ -130,6 +138,8 @@ class ServiceState:
             workers=config.workers,
             queue_size=config.queue_size,
             on_complete=self._write_through,
+            watchdog_grace=config.watchdog_grace,
+            watchdog_interval=config.watchdog_interval,
         )
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         #: cache_key → live job, so concurrent identical requests coalesce
@@ -359,6 +369,10 @@ class ServiceState:
 
     def _ensure_feeder(self) -> None:
         with self._batch_cond:
+            if self._closing:
+                # Shutdown has begun: never (re)start the feeder, or it could
+                # race the pool's close and feed jobs into a stopping queue.
+                return
             if self._batch_feeder_thread is None or not self._batch_feeder_thread.is_alive():
                 self._batch_feeder_thread = threading.Thread(
                     target=self._batch_feeder, name="regel-batch-feeder", daemon=True
@@ -448,6 +462,13 @@ class ServiceState:
                 record.append_item(status, **extra)
             return status
 
+        try:
+            # Chaos hook: an injected ``batch.ingest`` fault is the ingest
+            # path's own I/O failing mid-item.  The item settles as a typed
+            # failure — surfaced in the receipt, never silently dropped.
+            fault_point("batch.ingest")
+        except OSError as exc:
+            return settle(ITEM_FAILED, error=f"ingest failed: {exc}")
         try:
             data = json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -543,13 +564,29 @@ class ServiceState:
         payload["schema"] = WIRE_SCHEMA
         return 200, payload
 
-    def handle_healthz(self) -> Response:
-        """``GET /v1/healthz`` — liveness."""
-        return 200, {
-            "status": "ok",
-            "schema": WIRE_SCHEMA,
-            "uptime_seconds": time.time() - self.started,
+    def health(self) -> Dict[str, Any]:
+        """Aggregate health: ``ok`` or ``degraded``, with per-subsystem detail.
+
+        ``degraded`` means still serving, at reduced fidelity: an open cache
+        breaker (every request is a miss) or a wedged worker (capacity down
+        by one).  Orchestrators should keep routing traffic but alert.
+        """
+        subsystems = {
+            "cache": "ok" if self.cache.healthy() else "degraded",
+            "pool": "ok" if self.pool.healthy() else "degraded",
         }
+        degraded = any(value != "ok" for value in subsystems.values())
+        return {
+            "status": "degraded" if degraded else "ok",
+            "subsystems": subsystems,
+        }
+
+    def handle_healthz(self) -> Response:
+        """``GET /v1/healthz`` — liveness, with degradation detail."""
+        payload: Dict[str, Any] = self.health()
+        payload["schema"] = WIRE_SCHEMA
+        payload["uptime_seconds"] = time.time() - self.started
+        return 200, payload
 
     def handle_stats(self) -> Response:
         """``GET /v1/stats`` — cache, pool, and request counters."""
@@ -569,7 +606,10 @@ class ServiceState:
             "batches": {
                 "tracked": len(self.batches),
                 "backlog": len(self._batch_backlog),
+                **self.batches.stats(),
             },
+            "health": self.health(),
+            "faults": fault_stats(),
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -578,7 +618,10 @@ class ServiceState:
         # Stop the feeder before the pool: nothing new must enter the queue
         # while the pool cancels and joins.  Backlogged items stay ``queued``
         # in their (persisted) records, so a restart + resume picks them up.
+        # Idempotent: SIGTERM handling and test teardown may both get here.
         with self._batch_cond:
+            if self._closing:
+                return
             self._closing = True
             self._batch_cond.notify_all()
         if self._batch_feeder_thread is not None:

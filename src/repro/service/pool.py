@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.api.problem import Problem
 from repro.api.schedulers import CancelToken
 from repro.api.session import Session
+from repro.faults import fault_point
 from repro.service.wire import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -99,8 +100,17 @@ class Job:
         status: str,
         report: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
-    ) -> None:
+    ) -> bool:
+        """Move to a terminal state; first caller wins, later calls are no-ops.
+
+        Returns True iff this call performed the transition.  First-wins is
+        what lets the pool watchdog settle a wedged job as ``failed`` without
+        racing the worker: whichever side finishes first decides the outcome,
+        and the loser's stats update is skipped.
+        """
         with self._lock:
+            if self.terminal:
+                return False
             self.status = status
             self.report = report
             self.error = error
@@ -113,6 +123,7 @@ class Job:
                 callback(self)
             except Exception:
                 pass  # a failing observer must not fail the job
+        return True
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job is terminal; False on timeout."""
@@ -128,13 +139,19 @@ class WorkerPool:
         workers: int = 2,
         queue_size: int = 16,
         on_complete: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+        watchdog_grace: float = 10.0,
+        watchdog_interval: float = 0.25,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if watchdog_grace < 0:
+            raise ValueError("watchdog_grace must be >= 0")
         self.session_factory = session_factory
         self.on_complete = on_complete
+        self.watchdog_grace = watchdog_grace
+        self.watchdog_interval = watchdog_interval
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_size)
         self._stopping = False
         self._stats_lock = threading.Lock()
@@ -144,7 +161,9 @@ class WorkerPool:
         self.failed = 0
         self.cancelled = 0
         self.rejected = 0
+        self.watchdog_failed = 0
         self._busy = 0
+        self._stop_event = threading.Event()
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"regel-worker-{index}", daemon=True
@@ -153,6 +172,10 @@ class WorkerPool:
         ]
         for thread in self._threads:
             thread.start()
+        self._watchdog = threading.Thread(
+            target=self._watch, name="regel-watchdog", daemon=True
+        )
+        self._watchdog.start()
 
     # -- submission ----------------------------------------------------------
 
@@ -180,9 +203,9 @@ class WorkerPool:
             if job is None:  # shutdown sentinel
                 return
             if job.cancel_requested:
-                job.finish(JOB_CANCELLED)
-                with self._stats_lock:
-                    self.cancelled += 1
+                if job.finish(JOB_CANCELLED):
+                    with self._stats_lock:
+                        self.cancelled += 1
                 continue
             if session is None:
                 # Built lazily (and retried per job) so a failing factory
@@ -191,9 +214,9 @@ class WorkerPool:
                 try:
                     session = self.session_factory()
                 except Exception:
-                    job.finish(JOB_FAILED, error=traceback.format_exc(limit=8))
-                    with self._stats_lock:
-                        self.failed += 1
+                    if job.finish(JOB_FAILED, error=traceback.format_exc(limit=8)):
+                        with self._stats_lock:
+                            self.failed += 1
                     continue
             self._run(session, job)
 
@@ -204,6 +227,10 @@ class WorkerPool:
             self._busy += 1
             self._running.add(job)
         try:
+            # Chaos hook: a ``pool.job`` fault here is a worker failing (or,
+            # with kind=hang, wedging) after pickup — the path the watchdog
+            # and the client's retry/poll loops must survive.
+            fault_point("pool.job", cancel=job.cancel)
             for solution in session.iter_solutions(job.problem, cancel=job.cancel):
                 job.add_solution(solution.to_dict())
             report = session.last_report
@@ -211,9 +238,9 @@ class WorkerPool:
             report.cache_key = job.cache_key
             if job.cancel_requested:
                 report.cancelled = True
-                job.finish(JOB_CANCELLED, report=report.to_dict())
-                with self._stats_lock:
-                    self.cancelled += 1
+                if job.finish(JOB_CANCELLED, report=report.to_dict()):
+                    with self._stats_lock:
+                        self.cancelled += 1
             else:
                 report_dict = report.to_dict()
                 if self.on_complete is not None:
@@ -224,25 +251,66 @@ class WorkerPool:
                         self.on_complete(job.cache_key, report_dict)
                     except Exception:
                         pass
-                job.finish(JOB_DONE, report=report_dict)
-                with self._stats_lock:
-                    self.completed += 1
+                if job.finish(JOB_DONE, report=report_dict):
+                    with self._stats_lock:
+                        self.completed += 1
         except Exception:
-            job.finish(JOB_FAILED, error=traceback.format_exc(limit=8))
-            with self._stats_lock:
-                self.failed += 1
+            if job.finish(JOB_FAILED, error=traceback.format_exc(limit=8)):
+                with self._stats_lock:
+                    self.failed += 1
         finally:
             with self._stats_lock:
                 self._busy -= 1
                 self._running.discard(job)
 
+    # -- watchdog ------------------------------------------------------------
+
+    def _watch(self) -> None:
+        """Settle jobs stuck past ``budget + grace`` as ``failed``.
+
+        The schedulers enforce budgets cooperatively, so a worker wedged in
+        non-cooperative code (or an injected ``pool.job`` hang) would leave
+        its job ``running`` forever and clients polling forever.  The
+        watchdog fires the job's cancel token and — thanks to first-wins
+        :meth:`Job.finish` — settles it as ``failed`` so pollers get a
+        terminal answer even while the worker thread is still stuck.
+        """
+        while not self._stop_event.wait(self.watchdog_interval):
+            now = time.time()
+            with self._stats_lock:
+                running = list(self._running)
+            for job in running:
+                started = job.started
+                if started is None or job.terminal:
+                    continue
+                deadline = started + job.problem.budget + self.watchdog_grace
+                if now < deadline:
+                    continue
+                job.request_cancel()
+                stuck = now - started
+                if job.finish(
+                    JOB_FAILED,
+                    error=(
+                        f"watchdog: job exceeded budget {job.problem.budget:.1f}s"
+                        f" + grace {self.watchdog_grace:.1f}s"
+                        f" (running {stuck:.1f}s); worker presumed wedged"
+                    ),
+                ):
+                    with self._stats_lock:
+                        self.watchdog_failed += 1
+                        self.failed += 1
+
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
         with self._stats_lock:
+            # A terminal job still in _running means the watchdog settled it
+            # but the worker thread hasn't come back: a wedged worker.
+            wedged = sum(1 for job in self._running if job.terminal)
             return {
                 "workers": len(self._threads),
                 "busy_workers": self._busy,
+                "wedged_workers": wedged,
                 "queue_depth": self._queue.qsize(),
                 "queue_capacity": self._queue.maxsize,
                 "submitted": self.submitted,
@@ -250,13 +318,20 @@ class WorkerPool:
                 "failed": self.failed,
                 "cancelled": self.cancelled,
                 "rejected": self.rejected,
+                "watchdog_failed": self.watchdog_failed,
             }
+
+    def healthy(self) -> bool:
+        """False while any worker is wedged (``/v1/healthz: degraded``)."""
+        with self._stats_lock:
+            return not any(job.terminal for job in self._running)
 
     # -- shutdown ------------------------------------------------------------
 
     def close(self, timeout: float = 5.0) -> None:
         """Graceful shutdown: cancel queued + running jobs, join workers."""
         self._stopping = True
+        self._stop_event.set()
         # Drain jobs still waiting in the queue: they never ran.
         while True:
             try:
@@ -264,9 +339,9 @@ class WorkerPool:
             except queue.Empty:
                 break
             if job is not None:
-                job.finish(JOB_CANCELLED)
-                with self._stats_lock:
-                    self.cancelled += 1
+                if job.finish(JOB_CANCELLED):
+                    with self._stats_lock:
+                        self.cancelled += 1
         # Fire the cancel token of every in-flight job; the schedulers honour
         # it cooperatively, so workers come back within one scheduling slice.
         with self._stats_lock:
@@ -277,3 +352,4 @@ class WorkerPool:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=timeout)
+        self._watchdog.join(timeout=timeout)

@@ -34,6 +34,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs
 
+from repro.faults import InjectedFault, configure, fault_point
 from repro.service.handlers import ServiceConfig, ServiceState
 from repro.service.wire import MAX_BODY_BYTES, error_body
 
@@ -80,6 +81,10 @@ class RegelRequestHandler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------------
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        # Chaos hook: an injected ``server.response`` fault drops the
+        # connection before any byte of the response is written — the shape
+        # of a server dying mid-reply.  Clients see a reset and retry.
+        fault_point("server.response")
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -165,6 +170,10 @@ class RegelRequestHandler(BaseHTTPRequestHandler):
                 )
         except BrokenPipeError:  # client went away mid-response
             pass
+        except InjectedFault:
+            # A ``server.response`` fault: simulate the crash by hanging up
+            # without answering (a 500 here would defeat the simulation).
+            self.close_connection = True
         except Exception as exc:  # never leak a traceback page
             try:
                 self._send(500, error_body("internal", f"{type(exc).__name__}: {exc}"))
@@ -206,6 +215,10 @@ def serve(config: ServiceConfig) -> int:
     stop) shut down gracefully: queued and in-flight jobs are cancelled,
     workers joined, and the cache closed.
     """
+    if config.faults is not None:
+        # --faults beats REPRO_FAULTS: an explicit flag is the operator
+        # saying "this run, this schedule".
+        configure(config.faults)
     state = ServiceState(config)
     server = RegelHTTPServer((config.host, config.port), state)
     host, port = server.server_address[:2]

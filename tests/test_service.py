@@ -291,6 +291,16 @@ class TestWorkerPool:
         finally:
             pool.close()
 
+    def test_finish_is_first_wins(self):
+        # The watchdog and the worker may both try to settle one job; the
+        # second transition must be a no-op, not an overwrite.
+        job = Job(FAST_PROBLEM)
+        assert job.finish("failed", error="watchdog: wedged") is True
+        assert job.finish("done", report={"solved": True}) is False
+        assert job.status == "failed"
+        assert job.report is None
+        assert "watchdog" in job.error
+
 
 # ---------------------------------------------------------------------------
 # The live HTTP server
@@ -321,6 +331,7 @@ class TestHttpService:
         body = client.healthz()
         assert body["status"] == "ok"
         assert body["schema"] == 1
+        assert body["subsystems"] == {"cache": "ok", "pool": "ok"}
 
     def test_solve_then_cache_hit(self, client):
         problem = Problem(
@@ -496,7 +507,9 @@ class TestBackPressureHttp:
         live = start_server(config, state=state)
         try:
             host, port = live.server_address[:2]
-            client = ServiceClient(f"http://{host}:{port}")
+            # retries=0: this test wants to SEE the 429, not have the
+            # client's backoff absorb it.
+            client = ServiceClient(f"http://{host}:{port}", retries=0)
             running = client.submit(FAST_PROBLEM)
             deadline = time.monotonic() + 5.0
             while time.monotonic() < deadline:
@@ -848,6 +861,81 @@ class TestBatchRestartResume:
             assert page["items"][1]["status"] in ("solved", "unsolved")
         finally:
             state.close()
+
+
+class TestShutdownOrdering:
+    def test_feeder_stops_before_pool_closes_and_strands_are_resumable(
+        self, tmp_path
+    ):
+        # SIGTERM contract: the batch feeder thread must be dead before the
+        # pool starts closing (nothing may enter a stopping queue), and any
+        # backlogged items must land stranded-``queued`` on disk, eligible
+        # for re-ingestion by the next process.
+        from repro.service.batch import BatchRecord
+
+        config = ServiceConfig(
+            port=0,
+            workers=1,
+            queue_size=1,
+            cache_backend="null",
+            cache_path=str(tmp_path / "cache"),
+            batch_dir=str(tmp_path / "batches"),
+        )
+        state = ServiceState(config)
+        release = threading.Event()
+        state.pool.close()
+        factory = _blocking_session_factory(release)
+        state.pool = WorkerPool(lambda: factory(), workers=1, queue_size=1)
+
+        feeder_alive_at_pool_close = []
+        original_close = state.pool.close
+
+        def recording_close(timeout=5.0):
+            feeder = state._batch_feeder_thread
+            feeder_alive_at_pool_close.append(
+                feeder is not None and feeder.is_alive()
+            )
+            return original_close(timeout)
+
+        state.pool.close = recording_close
+        try:
+            # More items than worker+queue capacity: some stay in the
+            # feeder's backlog when shutdown begins.
+            body = (
+                "\n".join(json.dumps(p) for p in _batch_problems(4, tag="shutdown"))
+                + "\n"
+            ).encode()
+            status, payload = state.handle_batch_submit(body)
+            assert status == 202
+            batch_id = payload["batch_id"]
+        finally:
+            state.close()
+            release.set()
+
+        assert feeder_alive_at_pool_close == [False]
+        # Reloaded from disk (no live claims survive a restart), the
+        # unfinished items are stranded-queued and re-ingestable.
+        record = BatchRecord.load(tmp_path / "batches" / f"{batch_id}.json")
+        stranded = [
+            i for i in range(len(record)) if record.needs_reingest(i)
+        ]
+        assert stranded  # at least the backlogged items
+        fresh = ServiceState(config)
+        try:
+            status, resumed = fresh.handle_batch_submit(body, batch_id, 0)
+            assert status == 202
+            assert resumed["ingested"] == len(stranded)
+            assert resumed["skipped"] == len(record) - len(stranded)
+        finally:
+            fresh.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        config = ServiceConfig(
+            port=0, workers=1, cache_backend="null", cache_path=str(tmp_path)
+        )
+        state = ServiceState(config)
+        state.close()
+        state.close()  # SIGTERM handler + finally block may both call it
 
 
 class TestCorpusIngestCliResume:
