@@ -10,7 +10,9 @@ the live HTTP service cold and then from the persistent result cache, and a
 ``corpus_throughput`` workload that bulk-ingests problems generated from the
 committed sample corpus through ``POST /v1/batch`` cold and warm, and a
 ``fault_overhead`` workload that pins the cost of the dormant fault-injection
-points left in the service hot paths (see ``repro.faults``), all
+points left in the service hot paths (see ``repro.faults``), and a
+``dfa_warm_reuse`` workload that asserts warm engine runs reuse the
+process-global compiled automata instead of recompiling, all
 without requiring pytest-benchmark.  The numbers are written to a JSON report
 (``BENCH_engine.json`` at the repository root by default).
 
@@ -189,10 +191,56 @@ def bench_full_sketch_completion(repeats: int, evaluator: str | None) -> dict:
             "encode_cache_hits": getattr(result, "encode_cache_hits", 0),
             "static_prune_hits": getattr(result, "static_prune_hits", 0),
             "static_prune_misses": getattr(result, "static_prune_misses", 0),
+            "dfa_cache_hits": getattr(result, "dfa_cache_hits", 0),
+            "dfa_compiled": getattr(result, "dfa_compiled", 0),
+            "dfa_compile_ms": getattr(result, "dfa_compile_ms", 0.0),
         }
 
     entry = _time_workload(run, repeats)
     entry["expansions_per_sec"] = entry["expansions"] / entry["seconds_min"]
+    return entry
+
+
+def bench_dfa_warm_reuse(repeats: int) -> dict:
+    """Compiled-artifact reuse across engine runs (the warm-service number).
+
+    The DFA evaluator stores every compiled automaton and batched membership
+    verdict in process-global caches keyed by interned regexes, so a second
+    engine run over the same problem — or the same problem hitting another
+    warm service worker thread — should compile *nothing*.  One priming run
+    pays whatever compilation the process still owes, then ``repeats`` timed
+    runs must report zero freshly compiled automata while drawing nonzero
+    cache hits; the workload asserts both, so the committed report is also a
+    regression check on cache effectiveness.
+    """
+    from repro.automata.membership import MEMBERSHIP_CACHE_STATS
+
+    sketch = parse_sketch(_FULL_SKETCH)
+
+    def solve():
+        result = Synthesizer(_CONFIG).synthesize(sketch, _examples("dfa"))
+        assert result.solved
+        return result
+
+    compiled_before = MEMBERSHIP_CACHE_STATS.compiled
+    start = time.perf_counter()
+    solve()
+    first_seconds = time.perf_counter() - start
+    compiled_priming = MEMBERSHIP_CACHE_STATS.compiled - compiled_before
+
+    def run():
+        result = solve()
+        assert result.dfa_compiled == 0, "warm run compiled fresh automata"
+        assert result.dfa_cache_hits > 0, "warm run drew no membership-cache hits"
+        return {
+            "dfa_cache_hits": result.dfa_cache_hits,
+            "dfa_compiled_warm": result.dfa_compiled,
+        }
+
+    entry = _time_workload(run, repeats)
+    entry["first_run_seconds"] = first_seconds
+    entry["automata_compiled_priming"] = compiled_priming
+    entry["warm_speedup_vs_first"] = first_seconds / entry["seconds_min"]
     return entry
 
 
@@ -448,6 +496,7 @@ def run_snapshot(label: str, repeats: int, modes: list[str]) -> dict:
             workloads[f"full_sketch_completion[{mode}]"] = bench_full_sketch_completion(
                 repeats, mode
             )
+        workloads["dfa_warm_reuse"] = bench_dfa_warm_reuse(repeats)
     return {
         "label": label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -488,7 +537,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--modes",
-        default="matchset,recursive",
+        default="dfa,matchset,recursive",
         help="comma-separated evaluator modes for the full-sketch workload",
     )
     args = parser.parse_args(argv)

@@ -49,9 +49,7 @@ class _Builder:
             right = _compile_dfa(regex.right, self.alphabet)
             return self._embed_dfa(left.intersect(right))
         if isinstance(regex, ast.Optional):
-            entry, exit_ = self.build(regex.arg)
-            self.nfa.add_epsilon(entry, exit_)
-            return entry, exit_
+            return self._optional(regex.arg)
         if isinstance(regex, ast.KleeneStar):
             return self._star(regex.arg)
         if isinstance(regex, ast.Concat):
@@ -67,9 +65,7 @@ class _Builder:
         if isinstance(regex, ast.RepeatRange):
             fragment = self._repeat(regex.arg, regex.low)
             for _ in range(regex.high - regex.low):
-                optional_entry, optional_exit = self.build(regex.arg)
-                self.nfa.add_epsilon(optional_entry, optional_exit)
-                fragment = self._concat(fragment, (optional_entry, optional_exit))
+                fragment = self._concat(fragment, self._optional(regex.arg))
             return fragment
         raise TypeError(f"unknown regex node: {regex!r}")
 
@@ -108,6 +104,20 @@ class _Builder:
         self.nfa.add_epsilon(entry, right[0])
         self.nfa.add_epsilon(left[1], exit_)
         self.nfa.add_epsilon(right[1], exit_)
+        return entry, exit_
+
+    def _optional(self, arg: ast.Regex) -> Tuple[int, int]:
+        # The empty-string bypass needs fresh entry/exit states: wiring an
+        # epsilon straight across the inner fragment is wrong whenever that
+        # fragment's entry is re-enterable (embedded complement/product DFAs
+        # loop back through their start state), because a run that has already
+        # consumed input can return to the entry and leak out via the bypass.
+        inner_entry, inner_exit = self.build(arg)
+        entry = self.nfa.new_state()
+        exit_ = self.nfa.new_state()
+        self.nfa.add_epsilon(entry, inner_entry)
+        self.nfa.add_epsilon(entry, exit_)
+        self.nfa.add_epsilon(inner_exit, exit_)
         return entry, exit_
 
     def _star(self, arg: ast.Regex) -> Tuple[int, int]:

@@ -62,9 +62,18 @@ class InternedMeta(type):
         # field tuple, so probe the table before paying for a candidate
         # construction that a hit would discard.  A stored key always has
         # full field arity, so defaulted/unnormalised/unhashable args simply
-        # miss and fall through to the slow path.
+        # miss and fall through to the slow path.  Bool/float args must also
+        # miss: ``True == 1`` and ``1.0 == 1``, so they would hit the entry
+        # of a live int-keyed node and skip the validation that rejects them
+        # (reachable whenever a strong cache keeps the node alive).
         table = cls._intern_table
-        if not kwargs:
+        probe = not kwargs
+        if probe:
+            for arg in args:
+                if arg.__class__ is bool or arg.__class__ is float:
+                    probe = False
+                    break
+        if probe:
             try:
                 # table.data maps key -> KeyedRef; probing it directly skips
                 # WeakValueDictionary.get's Python frame on this hot path.

@@ -1,19 +1,24 @@
 """Differential property tests for the evaluation layer.
 
 The match-set evaluator (:class:`repro.dsl.semantics.Matcher`), the original
-recursive matcher (:class:`repro.dsl.semantics.RecursiveMatcher`), and the
-automata backend (:mod:`repro.automata`) implement the same Figure-6
-semantics three different ways; random regexes and subjects must never tell
-them apart.
+recursive matcher (:class:`repro.dsl.semantics.RecursiveMatcher`), the
+compiled-membership evaluator (:class:`repro.dsl.semantics.DfaMatcher` over
+:mod:`repro.automata.membership`), and the standalone automata backend
+(:mod:`repro.automata`) implement the same Figure-6 semantics four different
+ways; random regexes and subjects must never tell them apart.  The three-way
+suite at the bottom is hypothesis-driven and compares *end-position masks*,
+not just booleans, so a compiled automaton that is right about full matches
+but wrong about prefixes still fails.
 """
 
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.automata import compile_regex
+from repro.automata import compile_regex, membership_automaton
 from repro.dsl import ast as r
-from repro.dsl.semantics import Matcher, RecursiveMatcher
+from repro.dsl.semantics import DfaMatcher, Matcher, RecursiveMatcher
 
 SEED = 20260730
 SUBJECT_ALPHABET = "aA1. -b9,"
@@ -159,4 +164,113 @@ class TestKnownTrickyCases:
     def test_case(self, regex, subject, expected):
         assert Matcher(subject).matches(regex) == expected
         assert RecursiveMatcher(subject).matches(regex) == expected
+        assert DfaMatcher(subject).matches(regex) == expected
         assert compile_regex(regex, extra_chars=subject).accepts(subject) == expected
+
+
+# -- three-way hypothesis suite ----------------------------------------------
+#
+# Every operator of the DSL appears in the strategy, the Repeat family
+# carries the small integer counts that κ instantiates to, and the leaves
+# include Epsilon (empty string) and EmptySet (empty language), so the
+# generated regexes hit exactly the shapes where end-position bookkeeping,
+# nullability, and complementation go wrong.
+
+_H_LEAVES = st.sampled_from(
+    [
+        r.NUM,
+        r.LET,
+        r.CAP,
+        r.literal("a"),
+        r.literal("."),
+        r.Epsilon(),
+        r.EmptySet(),
+    ]
+)
+
+_H_REGEXES = st.recursive(
+    _H_LEAVES,
+    lambda children: st.one_of(
+        st.builds(r.StartsWith, children),
+        st.builds(r.EndsWith, children),
+        st.builds(r.Contains, children),
+        st.builds(r.Not, children),
+        st.builds(r.Optional, children),
+        st.builds(r.KleeneStar, children),
+        st.builds(r.Concat, children, children),
+        st.builds(r.Or, children, children),
+        st.builds(r.And, children, children),
+        st.builds(r.Repeat, children, st.integers(1, 3)),
+        st.builds(r.RepeatAtLeast, children, st.integers(1, 2)),
+        st.builds(r.RepeatRange, children, st.integers(1, 2), st.integers(2, 4)),
+    ),
+    max_leaves=6,
+)
+
+#: Subjects mix matching and non-matching characters; min_size=0 keeps the
+#: empty string in play on every run.
+_H_SUBJECTS = st.text(alphabet="aA1.b ", max_size=6)
+
+
+class TestThreeWayDifferential:
+    @given(_H_REGEXES, _H_SUBJECTS)
+    @settings(max_examples=200, deadline=None)
+    def test_recursive_matchset_dfa_agree(self, regex, subject):
+        expected = RecursiveMatcher(subject).matches(regex)
+        assert Matcher(subject).matches(regex) == expected, (regex, subject)
+        assert DfaMatcher(subject).matches(regex) == expected, (regex, subject)
+
+    @given(_H_REGEXES, _H_SUBJECTS)
+    @settings(max_examples=150, deadline=None)
+    def test_end_masks_equal_match_sets(self, regex, subject):
+        # The compiled automaton must agree with the match-set evaluator on
+        # *every* (start, end) span, not just the full-string verdict.
+        automaton = membership_automaton(regex)
+        if automaton is None:  # uncompilable shapes fall back, nothing to pin
+            return
+        assert automaton.end_masks(subject) == Matcher(subject).match_sets(regex), (
+            regex,
+            subject,
+        )
+
+    @given(
+        st.integers(1, 4),
+        st.sampled_from([r.NUM, r.Optional(r.NUM), r.Concat(r.LET, r.NUM)]),
+        _H_SUBJECTS,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_kappa_bearing_repeats_agree(self, count, body, subject):
+        # The Repeat family is where symbolic integers (κ) land once
+        # InferConstants picks a model; the compiled path must agree with
+        # both oracles for every concrete instantiation.
+        for regex in (
+            r.Repeat(body, count),
+            r.RepeatAtLeast(body, count),
+            r.RepeatRange(body, count, count + 2),
+        ):
+            expected = RecursiveMatcher(subject).matches(regex)
+            assert Matcher(subject).matches(regex) == expected, (regex, subject)
+            assert DfaMatcher(subject).matches(regex) == expected, (regex, subject)
+
+    @pytest.mark.parametrize(
+        "regex,subject,expected",
+        [
+            # Empty string versus empty language, in every evaluator.
+            (r.Epsilon(), "", True),
+            (r.Epsilon(), "a", False),
+            (r.EmptySet(), "", False),
+            (r.EmptySet(), "a", False),
+            (r.KleeneStar(r.EmptySet()), "", True),
+            (r.KleeneStar(r.EmptySet()), "a", False),
+            (r.Optional(r.EmptySet()), "", True),
+            (r.Not(r.EmptySet()), "", True),
+            (r.Concat(r.Epsilon(), r.Epsilon()), "", True),
+            (r.Repeat(r.Epsilon(), 3), "", True),
+            (r.And(r.Epsilon(), r.KleeneStar(r.NUM)), "", True),
+            (r.Or(r.EmptySet(), r.Epsilon()), "", True),
+        ],
+    )
+    def test_empty_edge_cases(self, regex, subject, expected):
+        assert RecursiveMatcher(subject).matches(regex) == expected
+        assert Matcher(subject).matches(regex) == expected
+        assert DfaMatcher(subject).matches(regex) == expected

@@ -4,6 +4,7 @@ import pickle
 
 import pytest
 
+from repro.caches import CACHE_LOCK, registered_caches
 from repro.dsl import ast as r
 from repro.dsl.parser import parse_regex
 from repro.dsl.semantics import Matcher
@@ -20,6 +21,18 @@ from repro.synthesis import (
     open_nodes,
 )
 from repro.synthesis.partial import FreeLabel, replace_node
+
+
+def _clear_membership_masks() -> None:
+    """Empty the process-global batched-membership cache.
+
+    Tests that assert ``eval_cache_misses > 0`` need the first lookup of their
+    (regex, subjects) keys to actually miss; any earlier test in the process
+    may have warmed the shared cache with the same keys.
+    """
+    masks = registered_caches()["synthesis.membership_masks"]
+    with CACHE_LOCK:
+        masks.clear()
 
 
 class TestRegexInterning:
@@ -106,6 +119,7 @@ class TestEvaluationCacheSharing:
         assert new_misses <= 4
 
     def test_examples_aggregate_cache_stats(self):
+        _clear_membership_masks()  # cold global cache => misses are deterministic
         examples = Examples(["ab"], ["cd"])
         regex = r.Repeat(r.LET, 2)
         assert examples.consistent(regex) is False  # accepts "cd" too
@@ -151,6 +165,7 @@ class TestApproximationCache:
 
 class TestEngineIntegration:
     def test_engine_reports_cache_telemetry(self):
+        _clear_membership_masks()  # cold global cache => misses are deterministic
         sketch = parse_sketch(
             "Concat(Hole(RepeatRange(<num>,1,15)),"
             "Hole(Optional(Concat(<.>,RepeatRange(<num>,1,3)))))"

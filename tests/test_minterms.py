@@ -1,0 +1,148 @@
+"""Property tests for the minterm alphabet (:mod:`repro.automata.minterms`).
+
+Three invariants make minterm compression sound, and each gets a
+hypothesis-driven property here:
+
+1. the blocks *partition* the concrete alphabet (every printable character
+   in exactly one block),
+2. the partition *refines* every predicate it was built from (a block is
+   fully inside or fully outside each predicate — never split), and
+3. membership *round-trips* through the compression: a character and its
+   block representative are indistinguishable to every predicate, including
+   at class boundaries (the characters right at the ord-edges of a class,
+   where an off-by-one in the signature computation would land).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.minterms import Alphabet, alphabet_for, predicates_of
+from repro.dsl import ast as r
+from repro.dsl.charclass import ALL_CHAR_CLASSES, PRINTABLE_ALPHABET, chars_of
+
+_CLASS_PREDICATES = [chars_of(kind) for kind in ALL_CHAR_CLASSES]
+
+#: Predicates mix the real character classes with arbitrary small character
+#: sets, so the partition is exercised beyond the shapes the DSL can produce.
+_PREDICATE = st.one_of(
+    st.sampled_from(_CLASS_PREDICATES),
+    st.sets(st.sampled_from(PRINTABLE_ALPHABET), max_size=8).map(frozenset),
+)
+_PREDICATES = st.lists(_PREDICATE, max_size=6)
+
+
+def _boundary_chars(predicate: frozenset) -> set:
+    """Characters of ``predicate`` whose ord-neighbour falls outside it.
+
+    These are the edges of contiguous runs like ``0-9`` or ``a-z`` — exactly
+    where a signature computed from ranges instead of sets would go wrong —
+    plus the outside neighbours themselves when printable.
+    """
+    chars = set()
+    for char in predicate:
+        for delta in (-1, 1):
+            neighbour = chr(ord(char) + delta)
+            if neighbour not in predicate:
+                chars.add(char)
+                if neighbour in PRINTABLE_ALPHABET:
+                    chars.add(neighbour)
+    return chars
+
+
+class TestPartition:
+    @given(_PREDICATES)
+    @settings(max_examples=100, deadline=None)
+    def test_blocks_cover_the_alphabet_exactly_once(self, predicates):
+        alphabet = Alphabet(predicates)
+        union = set()
+        total = 0
+        for block in alphabet.blocks:
+            assert block, "empty minterm block"
+            union |= block
+            total += len(block)
+        assert union == set(PRINTABLE_ALPHABET)
+        assert total == len(PRINTABLE_ALPHABET), "blocks overlap"
+
+    @given(_PREDICATES)
+    @settings(max_examples=100, deadline=None)
+    def test_symbol_of_is_consistent_with_blocks(self, predicates):
+        alphabet = Alphabet(predicates)
+        for char in PRINTABLE_ALPHABET:
+            symbol = alphabet.symbol_of(char)
+            assert symbol is not None
+            assert char in alphabet.blocks[symbol]
+        assert alphabet.symbol_of("\n") is None
+
+    def test_no_predicates_collapse_to_one_block(self):
+        alphabet = Alphabet([])
+        assert alphabet.num_symbols == 1
+        assert alphabet.blocks[0] == frozenset(PRINTABLE_ALPHABET)
+
+
+class TestRefinement:
+    @given(_PREDICATES)
+    @settings(max_examples=100, deadline=None)
+    def test_every_block_is_inside_or_outside_each_predicate(self, predicates):
+        alphabet = Alphabet(predicates)
+        for predicate in predicates:
+            for block in alphabet.blocks:
+                assert block <= predicate or not (block & predicate), (
+                    "block split by predicate",
+                    sorted(block),
+                    sorted(predicate),
+                )
+
+    @given(_PREDICATES)
+    @settings(max_examples=100, deadline=None)
+    def test_symbols_of_predicate_reconstructs_the_predicate(self, predicates):
+        alphabet = Alphabet(predicates)
+        for predicate in predicates:
+            covered = set()
+            for symbol in alphabet.symbols_of_predicate(predicate):
+                covered |= alphabet.blocks[symbol]
+            assert covered == predicate & set(PRINTABLE_ALPHABET)
+
+
+class TestMembershipRoundTrip:
+    @given(_PREDICATES)
+    @settings(max_examples=100, deadline=None)
+    def test_representative_is_indistinguishable_from_its_block(self, predicates):
+        alphabet = Alphabet(predicates)
+        for symbol in alphabet.symbols():
+            representative = alphabet.representative(symbol)
+            assert alphabet.symbol_of(representative) == symbol
+            for predicate in predicates:
+                for char in alphabet.blocks[symbol]:
+                    assert (char in predicate) == (representative in predicate)
+
+    @pytest.mark.parametrize("kind", ALL_CHAR_CLASSES)
+    def test_class_boundary_chars_round_trip(self, kind):
+        predicate = chars_of(kind)
+        alphabet = Alphabet(_CLASS_PREDICATES)
+        inside = alphabet.symbols_of_predicate(predicate)
+        for char in _boundary_chars(predicate):
+            symbol = alphabet.symbol_of(char)
+            assert symbol is not None
+            # Compressed membership == concrete membership, right at the edge.
+            assert (symbol in inside) == (char in predicate), (kind, char)
+
+    @given(st.text(alphabet=PRINTABLE_ALPHABET, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_encode_round_trips_membership(self, text):
+        regex = r.Concat(r.NUM, r.Or(r.LET, r.literal(".")))
+        alphabet = alphabet_for(regex)
+        encoded = alphabet.encode(text)
+        assert encoded is not None
+        assert len(encoded) == len(text)
+        for char, symbol in zip(text, encoded):
+            assert char in alphabet.blocks[symbol]
+            for predicate in predicates_of([regex]):
+                assert (char in predicate) == (
+                    alphabet.blocks[symbol] <= predicate
+                )
+
+    def test_extra_chars_stay_distinguishable(self):
+        alphabet = alphabet_for(r.NUM, extra_chars="7")
+        seven = alphabet.symbol_of("7")
+        assert alphabet.blocks[seven] == frozenset("7")
+        assert alphabet.symbol_of("8") != seven

@@ -75,6 +75,9 @@ class TestRunReportGolden:
         assert report.total_expansions == 430
         assert report.total_eval_cache_hits == 3000
         assert report.total_solver_propagations == 60
+        assert report.total_dfa_cache_hits == 2450
+        assert report.total_dfa_compiled == 87
+        assert report.total_dfa_compile_ms == 11.0
         assert report.provenance == "engine"
 
 
@@ -89,6 +92,9 @@ class TestBackwardCompat:
         assert sketch.eval_cache_hits == 0
         assert sketch.solver_propagations == 0
         assert sketch.encode_cache_hits == 0
+        assert sketch.dfa_cache_hits == 0
+        assert sketch.dfa_compiled == 0
+        assert sketch.dfa_compile_ms == 0.0
 
     def test_legacy_report_round_trips_to_current_schema(self):
         report = RunReport.from_dict(_load("run_report_v0_legacy.json"))
